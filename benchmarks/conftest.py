@@ -1,0 +1,21 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures on the
+simulated engines (see DESIGN.md's experiment index).  The experiments
+are deterministic, so every benchmark runs ``rounds=1``; the interesting
+output is the *shape assertions* plus the printed paper-style rows (run
+pytest with ``-s`` to see them), not the wall-clock statistics.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow `import benchmarks.*`-free usage when invoked as `pytest benchmarks/`.
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,72 @@
+"""Ablation — inlining as the enabler of fold-group fusion.
+
+DESIGN.md calls out the interplay the paper only hints at ("inlining
+... increases the chances of discovering and applying comprehension
+level rewrites"): when the programmer binds the grouped bag to a name,
+fold-group fusion can only see the ``group_by`` if inlining first
+splices the definition into its consumer.  Compiling k-means with
+inlining disabled must therefore lose the fusion — and with it, the
+shuffle reduction.
+"""
+
+from conftest import run_once
+
+from repro.engines.dfs import SimulatedDFS
+from repro.experiments.runner import bench_cost_model, make_engine
+from repro.optimizer.pipeline import EmmaConfig
+from repro.workloads import datagen
+from repro.workloads.kmeans import initial_centroids, kmeans
+
+WITH_INLINING = EmmaConfig(
+    inlining=True, caching=False, partition_pulling=False
+)
+WITHOUT_INLINING = EmmaConfig(
+    inlining=False, caching=False, partition_pulling=False
+)
+
+
+def _run_both():
+    dfs = SimulatedDFS()
+    points = datagen.generate_points(1500, centers=3, dim=4, seed=83)
+    dfs.put("abl/points", points)
+    init = initial_centroids(points, 3)
+    outcomes = {}
+    for label, config in (
+        ("inlining", WITH_INLINING),
+        ("no-inlining", WITHOUT_INLINING),
+    ):
+        engine = make_engine(
+            "spark", dfs, num_workers=8, cost=bench_cost_model()
+        )
+        kmeans.run(
+            engine,
+            config=config,
+            points_path="abl/points",
+            initial=init,
+            epsilon=-1.0,
+            max_iterations=3,
+        )
+        outcomes[label] = {
+            "fused_groups": kmeans.report(config).fused_groups,
+            "shuffle_bytes": engine.metrics.shuffle_bytes,
+            "seconds": engine.metrics.simulated_seconds,
+        }
+    return outcomes
+
+
+def test_inlining_enables_fusion(benchmark):
+    outcomes = run_once(benchmark, _run_both)
+    print()
+    for label, stats in outcomes.items():
+        print(
+            f"{label:14} fused_groups={stats['fused_groups']} "
+            f"shuffle={stats['shuffle_bytes']}B "
+            f"t={stats['seconds']:.3f}s"
+        )
+    assert outcomes["inlining"]["fused_groups"] >= 1
+    assert outcomes["no-inlining"]["fused_groups"] == 0
+    # Losing the fusion means shuffling raw assignments, not aggregates.
+    assert (
+        outcomes["no-inlining"]["shuffle_bytes"]
+        > 3 * outcomes["inlining"]["shuffle_bytes"]
+    )

@@ -1,0 +1,57 @@
+"""Benchmark F5 — regenerate Figure 5 (fusion and scalability).
+
+Shape assertions, per the paper's Appendix B.1 analysis:
+
+* with fold-group fusion both engines handle *all* distributions and
+  fusion is never slower than no-fusion;
+* under the Pareto distribution (~35% of tuples on one key) the
+  Spark-like engine *fails at every DOP* without fusion (the hot
+  reducer's group outgrows worker memory) while the Flink-like engine
+  finishes, degrading with DOP (the hot worker receives a constant
+  *fraction* of a growing total);
+* with fusion, the Flink-like engine stays near-flat under weak scaling
+  while the Spark-like engine's runtime grows with the DOP
+  (centralized per-task scheduling — the paper's "superlinear"
+  observation).
+"""
+
+from conftest import run_once
+
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.runner import DNF
+
+
+def test_figure5_sweep(benchmark):
+    result = run_once(benchmark, run_figure5)
+    print()
+    print(result.render())
+    dops = result.scale.dops
+
+    for distribution in ("uniform", "gaussian", "pareto"):
+        for engine in ("spark", "flink"):
+            fused = dict(result.series(engine, distribution, True))
+            unfused = dict(
+                result.series(engine, distribution, False)
+            )
+            # Fusion always finishes ...
+            assert all(t is not DNF for t in fused.values())
+            # ... and is never slower than no-fusion where both finish.
+            for dop in dops:
+                if unfused[dop] is not DNF:
+                    assert fused[dop] <= unfused[dop] * 1.05
+
+    # Pareto: Spark-like fails at every DOP without fusion; the
+    # Flink-like engine survives but degrades with DOP.
+    spark_pareto = dict(result.series("spark", "pareto", False))
+    assert all(t is DNF for t in spark_pareto.values())
+    flink_pareto = dict(result.series("flink", "pareto", False))
+    assert all(t is not DNF for t in flink_pareto.values())
+    assert flink_pareto[dops[-1]] > 3 * flink_pareto[dops[0]]
+
+    # Weak-scaling behaviour with fusion: Flink-like stays much closer
+    # to flat than the Spark-like engine (paper: linear vs superlinear).
+    spark_gf = dict(result.series("spark", "uniform", True))
+    flink_gf = dict(result.series("flink", "uniform", True))
+    spark_growth = spark_gf[dops[-1]] / spark_gf[dops[0]]
+    flink_growth = flink_gf[dops[-1]] / flink_gf[dops[0]]
+    assert spark_growth > 1.3 * flink_growth

@@ -1,0 +1,17 @@
+"""Benchmark T1 — regenerate Table 1 (optimization applicability).
+
+The compiler compiles all five evaluation programs and reports which
+optimizations fired; the resulting matrix must equal the paper's
+Table 1 cell for cell.
+"""
+
+from conftest import run_once
+
+from repro.experiments.table1 import PAPER_TABLE_1, run_table1
+
+
+def test_table1_matrix(benchmark):
+    result = run_once(benchmark, run_table1)
+    print()
+    print(result.render())
+    assert result.rows == PAPER_TABLE_1

@@ -1,0 +1,73 @@
+"""Graph analytics with stateful bags (paper Appendix A.1).
+
+Run:  python examples/graph_analytics.py
+
+PageRank and Connected Components over a synthetic follower graph —
+both expressed with the domain-agnostic ``StatefulBag`` abstraction
+(point-wise updates with keyed messages) instead of a vertex-centric
+framework, and both running unchanged on the local oracle and the
+simulated parallel engines.
+"""
+
+from collections import Counter
+
+from repro.api import FlinkLikeEngine, LocalEngine, SparkLikeEngine
+from repro.engines.dfs import SimulatedDFS
+from repro.workloads import graphs
+from repro.workloads.connected_components import connected_components
+from repro.workloads.pagerank import pagerank
+
+
+def main() -> None:
+    dfs = SimulatedDFS()
+    follower_path = graphs.stage_follower_graph(
+        dfs, num_vertices=500, edges_per_vertex=4, seed=3
+    )
+    cc_path = "data/components"
+    dfs.put(
+        cc_path,
+        graphs.generate_component_graph(
+            300, num_components=4, seed=19
+        ),
+    )
+
+    # PageRank: top influencers of the follower graph.
+    local = LocalEngine()
+    local.dfs = dfs
+    ranks = pagerank.run(
+        local, graph_path=follower_path, num_pages=500, max_iterations=10
+    )
+    top = sorted(ranks, key=lambda r: -r.rank)[:5]
+    print("top-5 vertices by PageRank (local oracle):")
+    for r in top:
+        print(f"  vertex {r.id:4d}  rank {r.rank:.5f}")
+
+    spark = SparkLikeEngine(dfs=dfs)
+    spark_ranks = pagerank.run(
+        spark, graph_path=follower_path, num_pages=500, max_iterations=10
+    )
+    spark_top = sorted(spark_ranks, key=lambda r: -r.rank)[:5]
+    assert [r.id for r in spark_top] == [r.id for r in top]
+    print(f"spark agrees — {spark.metrics.summary()}")
+
+    # Connected components: semi-naive iteration until the delta dries.
+    flink = FlinkLikeEngine(dfs=dfs)
+    states = connected_components.run(flink, graph_path=cc_path)
+    sizes = Counter(s.component for s in states)
+    print(
+        f"\nconnected components (flink): {len(sizes)} components, "
+        f"sizes {sorted(sizes.values(), reverse=True)}"
+    )
+    oracle_states = connected_components.run(
+        local, graph_path=cc_path
+    )
+    assert Counter(s.component for s in oracle_states) == sizes
+    print("local oracle agrees")
+    print(
+        "\npagerank optimizations:",
+        pagerank.report().table1_row(),
+    )
+
+
+if __name__ == "__main__":
+    main()

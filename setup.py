@@ -1,0 +1,12 @@
+"""Setup shim so legacy editable installs work offline.
+
+The canonical project metadata lives in ``pyproject.toml``; this file
+exists only because PEP 517 editable installs need the ``wheel`` package,
+which is unavailable in offline environments.  ``pip install -e .
+--no-use-pep517 --no-build-isolation`` (or plain ``pip install -e .`` when
+``wheel`` is present) both work.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Reproduction of *Implicit Parallelism through Deep Language Embedding*
+(Alexandrov et al., SIGMOD 2015) — the Emma language — in Python.
+
+The package implements the full system described in the paper:
+
+* :mod:`repro.algebra` — bags as ADTs, structural recursion, the
+  semantic laws (Section 2.2);
+* :mod:`repro.core` — the DataBag/StatefulBag user abstractions
+  (Section 3, Listing 3);
+* :mod:`repro.comprehension` — the monad-comprehension IR, resugaring
+  and normalization (Sections 2.2.3, 4.1);
+* :mod:`repro.frontend` — the ``@parallelize`` deep embedding over the
+  Python AST (Sections 3.2, 4);
+* :mod:`repro.optimizer` — fold-group fusion, unnesting, caching,
+  partition pulling (Sections 4.2, 4.4);
+* :mod:`repro.lowering` — comprehension-to-combinator dataflow
+  generation (Section 4.3);
+* :mod:`repro.engines` — simulated Spark-like and Flink-like parallel
+  runtimes with a calibrated cost model, plus the local oracle backend
+  (substituting for the paper's 40-node cluster, see DESIGN.md);
+* :mod:`repro.workloads` — k-means, PageRank, Connected Components,
+  TPC-H Q1/Q4, the spam-classifier workflow, and synthetic data
+  generators (Section 5 / Appendix A).
+
+Most users want :mod:`repro.api`.
+"""
+
+__version__ = "1.0.0"

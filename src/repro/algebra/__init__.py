@@ -1,0 +1,58 @@
+"""Algebraic foundation for bags (Section 2.2 of the paper).
+
+This subpackage models bags as abstract data types in both the *insert*
+representation (``AlgBag-Ins``: ``emp | cons x xs``) and the *union*
+representation (``AlgBag-Union``: ``emp | sng x | uni xs ys``), provides
+structural recursion (``fold``) over both, and states the semantic
+equations that make folds well defined.
+"""
+
+from repro.algebra.adt import (
+    Cons,
+    EmpIns,
+    EmpUnion,
+    InsTree,
+    Sng,
+    Uni,
+    UnionTree,
+    bag_of_ins_tree,
+    bag_of_union_tree,
+    ins_tree_of,
+    union_tree_of,
+)
+from repro.algebra.fold import (
+    FoldAlgebra,
+    banana_split,
+    fold_ins_tree,
+    fold_union_tree,
+    product_algebra,
+)
+from repro.algebra.laws import (
+    check_associative,
+    check_commutative,
+    check_fold_well_defined,
+    check_unit,
+)
+
+__all__ = [
+    "Cons",
+    "EmpIns",
+    "EmpUnion",
+    "InsTree",
+    "Sng",
+    "Uni",
+    "UnionTree",
+    "bag_of_ins_tree",
+    "bag_of_union_tree",
+    "ins_tree_of",
+    "union_tree_of",
+    "FoldAlgebra",
+    "banana_split",
+    "fold_ins_tree",
+    "fold_union_tree",
+    "product_algebra",
+    "check_associative",
+    "check_commutative",
+    "check_fold_well_defined",
+    "check_unit",
+]

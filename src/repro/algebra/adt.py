@@ -1,0 +1,237 @@
+"""Bags as algebraic data types (paper Section 2.2.1).
+
+The paper models the type ``Bag A`` with two constructor algebras:
+
+* **Insert representation** (``AlgBag-Ins``)::
+
+      type Bag A = emp | cons x:A xs:Bag A
+
+  subject to the semantic equation ``EQ-Comm-Ins``
+  (``cons x1 (cons x2 xs) = cons x2 (cons x1 xs)``).
+
+* **Union representation** (``AlgBag-Union``)::
+
+      type Bag A = emp | sng x:A | uni xs:Bag A ys:Bag A
+
+  subject to ``EQ-Unit`` (``uni xs emp = uni emp xs = xs``),
+  ``EQ-Assoc`` and ``EQ-Comm``.
+
+A bag *value* is an equivalence class of constructor application trees
+under these equations.  This module provides concrete tree types for both
+representations, conversions between them, and the quotient map from
+trees to multisets (the canonical representative of the equivalence
+class).  The union representation is the one the language is built on:
+it is the natural fit for distributed bags, where each partition is a
+subtree joined by ``uni`` nodes (Section 2.2.2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Generic, Hashable, Iterable, Iterator, TypeVar, Union
+
+A = TypeVar("A")
+
+
+# ---------------------------------------------------------------------------
+# Insert representation: emp | cons x xs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EmpIns:
+    """The empty bag in insert representation."""
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Cons(Generic[A]):
+    """``cons x xs`` — the bag ``xs`` with element ``x`` added."""
+
+    head: A
+    tail: "InsTree[A]"
+
+    def __iter__(self) -> Iterator[A]:
+        node: InsTree[A] = self
+        while isinstance(node, Cons):
+            yield node.head
+            node = node.tail
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+
+InsTree = Union[EmpIns, Cons[A]]
+
+
+def ins_tree_of(elements: Iterable[A]) -> InsTree[A]:
+    """Build the left-deep ``cons`` chain for ``elements``.
+
+    The chain is one concrete member of the equivalence class that
+    represents the bag; any permutation of ``elements`` yields an
+    equivalent tree under ``EQ-Comm-Ins``.
+    """
+    tree: InsTree[A] = EmpIns()
+    for x in reversed(list(elements)):
+        tree = Cons(x, tree)
+    return tree
+
+
+def bag_of_ins_tree(tree: InsTree[A]) -> Counter:
+    """Quotient map: collapse an insert-representation tree to a multiset.
+
+    Two trees are equivalent under ``EQ-Comm-Ins`` iff they map to the
+    same multiset, so the :class:`collections.Counter` is the canonical
+    representative of the equivalence class.
+    """
+    counter: Counter = Counter()
+    node = tree
+    while isinstance(node, Cons):
+        counter[node.head] += 1
+        node = node.tail
+    return counter
+
+
+# ---------------------------------------------------------------------------
+# Union representation: emp | sng x | uni xs ys
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EmpUnion:
+    """The empty bag in union representation."""
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Sng(Generic[A]):
+    """``sng x`` — the singleton bag containing exactly ``x``."""
+
+    value: A
+
+    def __iter__(self) -> Iterator[A]:
+        yield self.value
+
+    def __len__(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Uni(Generic[A]):
+    """``uni xs ys`` — the bag union of ``xs`` and ``ys``.
+
+    In a distributed setting each ``uni`` node marks a point where two
+    partitions would have to be merged if the bag were materialized on a
+    single node; folds instead push their algebra below the ``uni`` and
+    ship partial results (paper Section 2.2.2).
+    """
+
+    left: "UnionTree[A]"
+    right: "UnionTree[A]"
+
+    def __iter__(self) -> Iterator[A]:
+        # Iterative traversal: union trees for large bags can be deep.
+        stack: list[UnionTree[A]] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Sng):
+                yield node.value
+            elif isinstance(node, Uni):
+                stack.append(node.right)
+                stack.append(node.left)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+
+UnionTree = Union[EmpUnion, Sng[A], Uni[A]]
+
+
+def union_tree_of(elements: Iterable[A]) -> UnionTree[A]:
+    """Build a balanced union-representation tree for ``elements``.
+
+    Balance is irrelevant semantically (``EQ-Assoc``) but keeps recursion
+    depth logarithmic, mirroring how a partitioned bag joins per-node
+    subtrees near the root.
+    """
+    leaves: list[UnionTree[A]] = [Sng(x) for x in elements]
+    if not leaves:
+        return EmpUnion()
+    while len(leaves) > 1:
+        paired: list[UnionTree[A]] = []
+        for i in range(0, len(leaves) - 1, 2):
+            paired.append(Uni(leaves[i], leaves[i + 1]))
+        if len(leaves) % 2 == 1:
+            paired.append(leaves[-1])
+        leaves = paired
+    return leaves[0]
+
+
+def union_tree_of_partitions(partitions: Iterable[Iterable[A]]) -> UnionTree[A]:
+    """Model a distributed bag: one subtree per partition, joined by ``uni``.
+
+    This is the conceptual picture from Section 2.2.2 — the value *is*
+    still one bag, but the top-level ``uni`` spine is only evaluated if
+    the bag must be materialized on a single node.
+    """
+    subtrees = [union_tree_of(p) for p in partitions]
+    if not subtrees:
+        return EmpUnion()
+    tree = subtrees[0]
+    for sub in subtrees[1:]:
+        tree = Uni(tree, sub)
+    return tree
+
+
+def bag_of_union_tree(tree: UnionTree[A]) -> Counter:
+    """Quotient map for union trees: tree -> multiset.
+
+    Two union trees are equivalent under ``EQ-Unit``/``EQ-Assoc``/
+    ``EQ-Comm`` iff they collapse to the same multiset.
+    """
+    counter: Counter = Counter()
+    for x in tree:
+        counter[x] += 1
+    return counter
+
+
+def trees_equivalent(
+    left: UnionTree[Hashable] | InsTree[Hashable],
+    right: UnionTree[Hashable] | InsTree[Hashable],
+) -> bool:
+    """Decide whether two constructor trees denote the same bag value.
+
+    Works across representations: an insert tree and a union tree are
+    equivalent when their multisets coincide (the translation between the
+    algebras follows from initiality, as the paper notes).
+    """
+    return _to_counter(left) == _to_counter(right)
+
+
+def _to_counter(tree: object) -> Counter:
+    if isinstance(tree, (EmpIns, Cons)):
+        return bag_of_ins_tree(tree)
+    if isinstance(tree, (EmpUnion, Sng, Uni)):
+        return bag_of_union_tree(tree)
+    raise TypeError(f"not a bag constructor tree: {tree!r}")
+
+
+def ins_of_union(tree: UnionTree[A]) -> InsTree[A]:
+    """Translate a union-representation tree to insert representation."""
+    return ins_tree_of(list(tree))
+
+
+def union_of_ins(tree: InsTree[A]) -> UnionTree[A]:
+    """Translate an insert-representation tree to union representation."""
+    return union_tree_of(list(tree))

@@ -1,0 +1,255 @@
+"""Structural recursion on bags (paper Section 2.2.2).
+
+A fold over a union-representation bag substitutes a triple
+``(zero, singleton, union)`` — written ``(e, s, u)`` in the paper — for
+the constructors ``(emp, sng, uni)`` of the bag's constructor tree and
+evaluates the resulting expression tree.  The triple is a
+:class:`FoldAlgebra`.
+
+The module also implements the **banana-split law** (Meijer et al. [28],
+used by the paper's fold-group fusion): a tuple of folds over the same
+bag equals a single fold over tuples, with the component algebras applied
+pointwise.  ``product_algebra`` builds that combined algebra and is the
+workhorse behind ``groupBy -> aggBy`` rewriting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Iterable, Sequence, TypeVar
+
+from repro.algebra.adt import (
+    Cons,
+    EmpIns,
+    EmpUnion,
+    InsTree,
+    Sng,
+    UnionTree,
+)
+
+A = TypeVar("A")
+B = TypeVar("B")
+
+
+@dataclass(frozen=True)
+class FoldAlgebra(Generic[A, B]):
+    """The ``(e, s, u)`` triple of a union-representation fold.
+
+    Attributes:
+        zero: the value substituted for ``emp`` — must be a *function of
+            no arguments* returning a fresh zero, so that mutable zeros
+            (e.g. numpy arrays, lists) are never shared between
+            evaluations.
+        singleton: substituted for ``sng`` — maps one element into ``B``.
+        union: substituted for ``uni`` — combines two partial results.
+        name: optional human-readable label used by the pretty printer
+            and by plan explanations.
+    """
+
+    zero: Callable[[], B]
+    singleton: Callable[[A], B]
+    union: Callable[[B, B], B]
+    name: str = "fold"
+
+    def __call__(self, elements: Iterable[A]) -> B:
+        """Apply the fold to an iterable, treated as a bag.
+
+        Evaluates left-to-right; by the well-definedness conditions the
+        result is independent of the order, so this is just one concrete
+        tree from the equivalence class.
+        """
+        acc = self.zero()
+        for x in elements:
+            acc = self.union(acc, self.singleton(x))
+        return acc
+
+    def merge(self, partials: Iterable[B]) -> B:
+        """Combine partial results shipped from distributed partitions."""
+        acc = self.zero()
+        for p in partials:
+            acc = self.union(acc, p)
+        return acc
+
+
+def fold_union_tree(algebra: FoldAlgebra[A, B], tree: UnionTree[A]) -> B:
+    """Evaluate a fold by constructor substitution on a union tree.
+
+    This is the literal definition from the paper: each ``emp``/``sng``/
+    ``uni`` node is replaced by the corresponding algebra component.
+    Implemented iteratively (post-order) so deep trees do not overflow
+    the Python stack.
+    """
+    if isinstance(tree, EmpUnion):
+        return algebra.zero()
+    if isinstance(tree, Sng):
+        return algebra.singleton(tree.value)
+
+    # Post-order traversal with an explicit stack of (node, visited) pairs.
+    results: list[B] = []
+    stack: list[tuple[UnionTree[A], bool]] = [(tree, False)]
+    while stack:
+        node, visited = stack.pop()
+        if isinstance(node, EmpUnion):
+            results.append(algebra.zero())
+        elif isinstance(node, Sng):
+            results.append(algebra.singleton(node.value))
+        elif not visited:
+            stack.append((node, True))
+            stack.append((node.right, False))
+            stack.append((node.left, False))
+        else:
+            right = results.pop()
+            left = results.pop()
+            results.append(algebra.union(left, right))
+    (result,) = results
+    return result
+
+
+def fold_ins_tree(
+    zero: B, step: Callable[[A, B], B], tree: InsTree[A]
+) -> B:
+    """Structural recursion on insert-representation trees.
+
+    The insert-representation fold is the classic ``foldr``; it needs no
+    commutativity from ``step``, which is exactly why engines built on it
+    (cf. Steno [29], discussed in Related Work) must impose extra
+    "homomorphy" constraints before they may parallelize.  The union
+    representation sidesteps that — see :func:`fold_union_tree`.
+    """
+    elements = list(tree) if isinstance(tree, Cons) else []
+    if isinstance(tree, EmpIns):
+        return zero
+    acc = zero
+    for x in reversed(elements):
+        acc = step(x, acc)
+    return acc
+
+
+def banana_split(
+    algebras: Sequence[FoldAlgebra[A, object]],
+    name: str | None = None,
+) -> FoldAlgebra[A, tuple]:
+    """Combine several folds over the same bag into one fold over tuples.
+
+    The banana-split law: ``(fold a1 xs, ..., fold an xs)`` equals
+    ``fold (a1 x ... x an) xs`` where the product algebra applies each
+    component pointwise.  The paper uses this to fuse the ``Sum`` and
+    ``Cnt`` folds of k-means into a single pass before fusing that pass
+    into the ``groupBy``.
+    """
+    return product_algebra(algebras, name=name)
+
+
+def product_algebra(
+    algebras: Sequence[FoldAlgebra[A, object]],
+    name: str | None = None,
+) -> FoldAlgebra[A, tuple]:
+    """The pointwise product ``a1 x ... x an`` of fold algebras."""
+    algebras = tuple(algebras)
+    if not algebras:
+        raise ValueError("product_algebra requires at least one algebra")
+
+    def zero() -> tuple:
+        return tuple(a.zero() for a in algebras)
+
+    def singleton(x: A) -> tuple:
+        return tuple(a.singleton(x) for a in algebras)
+
+    def union(left: tuple, right: tuple) -> tuple:
+        return tuple(
+            a.union(lv, rv) for a, lv, rv in zip(algebras, left, right)
+        )
+
+    label = name or "x".join(a.name for a in algebras)
+    return FoldAlgebra(zero=zero, singleton=singleton, union=union, name=label)
+
+
+# ---------------------------------------------------------------------------
+# A small catalogue of common fold algebras (the DataBag aliases build on
+# these; they are also handy in tests).
+# ---------------------------------------------------------------------------
+
+
+def sum_algebra(key: Callable[[A], object] = lambda x: x) -> FoldAlgebra:
+    """``sum`` as a fold: ``(0, key, +)``."""
+    return FoldAlgebra(
+        zero=lambda: 0,
+        singleton=key,
+        union=lambda x, y: x + y,
+        name="sum",
+    )
+
+
+def count_algebra() -> FoldAlgebra:
+    """``count`` as a fold: ``(0, const 1, +)``."""
+    return FoldAlgebra(
+        zero=lambda: 0,
+        singleton=lambda _x: 1,
+        union=lambda x, y: x + y,
+        name="count",
+    )
+
+
+def min_algebra(key: Callable[[A], object] = lambda x: x) -> FoldAlgebra:
+    """``min`` as a fold over the option monoid (``None`` is the zero)."""
+
+    def union(x: object, y: object) -> object:
+        if x is None:
+            return y
+        if y is None:
+            return x
+        return x if x <= y else y  # type: ignore[operator]
+
+    return FoldAlgebra(
+        zero=lambda: None, singleton=key, union=union, name="min"
+    )
+
+
+def max_algebra(key: Callable[[A], object] = lambda x: x) -> FoldAlgebra:
+    """``max`` as a fold over the option monoid (``None`` is the zero)."""
+
+    def union(x: object, y: object) -> object:
+        if x is None:
+            return y
+        if y is None:
+            return x
+        return x if x >= y else y  # type: ignore[operator]
+
+    return FoldAlgebra(
+        zero=lambda: None, singleton=key, union=union, name="max"
+    )
+
+
+def exists_algebra(predicate: Callable[[A], bool]) -> FoldAlgebra:
+    """``exists p`` as a fold: ``(False, p, or)``."""
+    return FoldAlgebra(
+        zero=lambda: False,
+        singleton=lambda x: bool(predicate(x)),
+        union=lambda x, y: x or y,
+        name="exists",
+    )
+
+
+def forall_algebra(predicate: Callable[[A], bool]) -> FoldAlgebra:
+    """``forall p`` as a fold: ``(True, p, and)``."""
+    return FoldAlgebra(
+        zero=lambda: True,
+        singleton=lambda x: bool(predicate(x)),
+        union=lambda x, y: x and y,
+        name="forall",
+    )
+
+
+def bag_algebra() -> FoldAlgebra:
+    """The identity fold — rebuilds the bag itself (as a list).
+
+    Fold-build fusion (Section 4.2.2) replaces this algebra, used
+    implicitly by ``groupBy`` to *construct* group values, with the
+    consuming fold's algebra.
+    """
+    return FoldAlgebra(
+        zero=list,
+        singleton=lambda x: [x],
+        union=lambda x, y: x + y,
+        name="bag",
+    )

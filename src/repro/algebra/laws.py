@@ -1,0 +1,117 @@
+"""Checkable forms of the semantic equations from Section 2.2.
+
+The union-representation fold ``(e, s, u)`` is well defined iff the same
+equations imposed on ``(emp, sng, uni)`` hold for it:
+
+* ``u(x, e) = u(e, x) = x``           (unit)
+* ``u(x, u(y, z)) = u(u(x, y), z)``   (associativity)
+* ``u(x, y) = u(y, x)``               (commutativity)
+
+These cannot be decided for arbitrary Python functions, so the library
+offers *property checks over sample values*: they are used by the test
+suite (with hypothesis-generated samples), and may be used by clients as
+a development-time sanity check on custom folds.  A failed check is a
+definite law violation; a passed check is evidence, not proof.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.algebra.fold import FoldAlgebra
+from repro.errors import FoldConditionError
+
+A = TypeVar("A")
+B = TypeVar("B")
+
+
+def _pairs(values: Sequence[B]) -> Iterable[tuple[B, B]]:
+    for x in values:
+        for y in values:
+            yield x, y
+
+
+def _triples(values: Sequence[B]) -> Iterable[tuple[B, B, B]]:
+    for x in values:
+        for y in values:
+            for z in values:
+                yield x, y, z
+
+
+def check_unit(
+    union: Callable[[B, B], B],
+    zero: B,
+    samples: Sequence[B],
+    equal: Callable[[B, B], bool] = lambda a, b: a == b,
+) -> bool:
+    """Check ``u(x, e) = u(e, x) = x`` on the given samples."""
+    return all(
+        equal(union(x, zero), x) and equal(union(zero, x), x)
+        for x in samples
+    )
+
+
+def check_associative(
+    union: Callable[[B, B], B],
+    samples: Sequence[B],
+    equal: Callable[[B, B], bool] = lambda a, b: a == b,
+) -> bool:
+    """Check ``u(x, u(y, z)) = u(u(x, y), z)`` on the given samples."""
+    return all(
+        equal(union(x, union(y, z)), union(union(x, y), z))
+        for x, y, z in _triples(samples)
+    )
+
+
+def check_commutative(
+    union: Callable[[B, B], B],
+    samples: Sequence[B],
+    equal: Callable[[B, B], bool] = lambda a, b: a == b,
+) -> bool:
+    """Check ``u(x, y) = u(y, x)`` on the given samples."""
+    return all(
+        equal(union(x, y), union(y, x)) for x, y in _pairs(samples)
+    )
+
+
+def check_fold_well_defined(
+    algebra: FoldAlgebra[A, B],
+    element_samples: Sequence[A],
+    equal: Callable[[B, B], bool] = lambda a, b: a == b,
+    raise_on_failure: bool = False,
+) -> bool:
+    """Check all three well-definedness conditions for a fold algebra.
+
+    Partial-result samples are derived from ``element_samples`` through
+    the algebra's own ``singleton``, which keeps the check meaningful for
+    algebras whose carrier differs from the element type.
+
+    Args:
+        algebra: the ``(e, s, u)`` triple under test.
+        element_samples: bag elements used to generate partial results.
+        equal: equality on the carrier (override for e.g. float results).
+        raise_on_failure: raise :class:`FoldConditionError` instead of
+            returning ``False``.
+
+    Returns:
+        ``True`` when every sampled instance of every law holds.
+    """
+    zero = algebra.zero()
+    partials: list[B] = [algebra.singleton(x) for x in element_samples]
+    # Include one combined value so associativity sees non-leaf carriers.
+    if len(partials) >= 2:
+        partials.append(algebra.union(partials[0], partials[1]))
+
+    failures = []
+    if not check_unit(algebra.union, zero, partials, equal):
+        failures.append("unit")
+    if not check_associative(algebra.union, partials, equal):
+        failures.append("associativity")
+    if not check_commutative(algebra.union, partials, equal):
+        failures.append("commutativity")
+
+    if failures and raise_on_failure:
+        raise FoldConditionError(
+            f"fold '{algebra.name}' violates: {', '.join(failures)}"
+        )
+    return not failures

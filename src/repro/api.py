@@ -1,0 +1,102 @@
+"""Public API facade — everything a user program needs in one import.
+
+    from repro.api import (
+        DataBag, parallelize, read, write, stateful,
+        LocalEngine, SparkLikeEngine, FlinkLikeEngine, EmmaConfig,
+    )
+
+Inside a ``@parallelize``-bracketed function, ``read``/``write``/
+``stateful``/``DataBag`` are *intrinsics*: the lifter recognizes the
+calls syntactically and maps them to IR nodes, so the host functions
+below exist mainly to give the same code direct, undecorated semantics
+(and sensible docs/signatures).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.core.databag import DataBag
+from repro.core.grp import Grp
+from repro.core.io import (
+    CsvFormat,
+    JsonLinesFormat,
+    read_csv,
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+)
+from repro.core.stateful import StatefulBag
+from repro.engines import (
+    ClusterConfig,
+    CostModel,
+    FlinkLikeEngine,
+    LocalEngine,
+    Metrics,
+    SimulatedDFS,
+    SparkLikeEngine,
+)
+from repro.errors import (
+    EmmaError,
+    SimulatedMemoryError,
+    SimulatedTimeout,
+)
+from repro.frontend.parallelize import Algorithm, parallelize
+from repro.optimizer.pipeline import EmmaConfig, OptimizationReport
+
+
+def read(path: str | Path, fmt: Any) -> DataBag:
+    """Read a DataBag from storage (host-mode implementation).
+
+    Inside ``@parallelize`` this is an intrinsic that becomes a dataflow
+    source reading the engine's simulated DFS.
+    """
+    if isinstance(fmt, CsvFormat):
+        return read_csv(path, fmt)
+    if isinstance(fmt, JsonLinesFormat):
+        return read_jsonl(path, fmt)
+    raise EmmaError(f"unsupported format {type(fmt).__name__}")
+
+
+def write(path: str | Path, fmt: Any, bag: DataBag) -> None:
+    """Write a DataBag to storage (host-mode implementation)."""
+    if isinstance(fmt, CsvFormat):
+        write_csv(path, fmt, bag)
+    elif isinstance(fmt, JsonLinesFormat):
+        write_jsonl(path, fmt, bag)
+    else:
+        raise EmmaError(f"unsupported format {type(fmt).__name__}")
+
+
+def stateful(
+    bag: DataBag, key: Callable[[Any], Any] | None = None
+) -> StatefulBag:
+    """Convert a DataBag into a StatefulBag (host-mode implementation)."""
+    return StatefulBag(bag, key=key)
+
+
+__all__ = [
+    "Algorithm",
+    "ClusterConfig",
+    "CostModel",
+    "CsvFormat",
+    "DataBag",
+    "EmmaConfig",
+    "EmmaError",
+    "FlinkLikeEngine",
+    "Grp",
+    "JsonLinesFormat",
+    "LocalEngine",
+    "Metrics",
+    "OptimizationReport",
+    "SimulatedDFS",
+    "SimulatedMemoryError",
+    "SimulatedTimeout",
+    "SparkLikeEngine",
+    "StatefulBag",
+    "parallelize",
+    "read",
+    "stateful",
+    "write",
+]

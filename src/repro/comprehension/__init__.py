@@ -1,0 +1,117 @@
+"""Monad-comprehension intermediate representation (paper Section 2.2.3).
+
+The IR has two layers:
+
+* :mod:`repro.comprehension.exprs` — a small expression language that
+  Python expressions are lifted into: constants, references, attribute
+  access, arithmetic, calls, lambdas, and the *bag operator* nodes
+  (``MapCall``, ``FoldCall``, ``GroupByCall``, ...) that method chains on
+  DataBags lift to.
+* :mod:`repro.comprehension.ir` — the comprehension nodes themselves:
+  ``Comprehension(head | qualifiers)^kind`` with generator and guard
+  qualifiers, over either the ``Bag`` monad or a ``fold(e, s, u)``
+  algebra.
+
+:mod:`repro.comprehension.resugar` recovers comprehensions from operator
+chains (the paper's ``MC⁻¹`` scheme) and
+:mod:`repro.comprehension.normalize` applies the unnesting rules
+(head-unnest, generator-unnest a.k.a. fusion, exists-unnest).
+
+Every node is *evaluable* with host-language semantics via
+:func:`repro.comprehension.exprs.evaluate` — that interpreter is the
+semantic oracle the parallel lowering is tested against.
+"""
+
+from repro.comprehension.exprs import (
+    AlgebraSpec,
+    Attr,
+    BagLiteral,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Const,
+    DistinctCall,
+    Expr,
+    FetchCall,
+    FilterCall,
+    FlatMapCall,
+    FoldCall,
+    GroupByCall,
+    IfElse,
+    Index,
+    Lambda,
+    ListExpr,
+    MapCall,
+    MinusCall,
+    PlusCall,
+    ReadCall,
+    Ref,
+    TupleExpr,
+    UnaryOp,
+    evaluate,
+    free_vars,
+    substitute,
+    transform,
+    walk,
+)
+from repro.comprehension.ir import (
+    BAG,
+    Comprehension,
+    Flatten,
+    FoldKind,
+    GenMode,
+    Generator,
+    Guard,
+    MonadKind,
+    Qualifier,
+)
+from repro.comprehension.normalize import normalize
+from repro.comprehension.pretty import pretty
+from repro.comprehension.resugar import resugar
+
+__all__ = [
+    "AlgebraSpec",
+    "Attr",
+    "BagLiteral",
+    "BinOp",
+    "BoolOp",
+    "Call",
+    "Compare",
+    "Const",
+    "DistinctCall",
+    "Expr",
+    "FetchCall",
+    "FilterCall",
+    "FlatMapCall",
+    "FoldCall",
+    "GroupByCall",
+    "IfElse",
+    "Index",
+    "Lambda",
+    "ListExpr",
+    "MapCall",
+    "MinusCall",
+    "PlusCall",
+    "ReadCall",
+    "Ref",
+    "TupleExpr",
+    "UnaryOp",
+    "evaluate",
+    "free_vars",
+    "substitute",
+    "transform",
+    "walk",
+    "BAG",
+    "Comprehension",
+    "Flatten",
+    "FoldKind",
+    "GenMode",
+    "Generator",
+    "Guard",
+    "MonadKind",
+    "Qualifier",
+    "normalize",
+    "pretty",
+    "resugar",
+]

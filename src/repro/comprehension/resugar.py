@@ -1,0 +1,91 @@
+"""Resugaring: the paper's ``MC⁻¹`` translation scheme (Section 4.1).
+
+Scala's for-comprehensions desugar into ``map``/``flatMap``/
+``withFilter`` chains at AST-construction time, and programmers also
+hard-code such calls directly.  ``MC⁻¹`` recovers comprehensions from
+the chains::
+
+    t0.map(x => t)         =>  [[ t | x <- MC⁻¹(t0) ]]^Bag
+    t0.withFilter(x => t)  =>  [[ x | x <- MC⁻¹(t0), t ]]^Bag
+    t0.flatMap(x => t)     =>  flatten [[ t | x <- MC⁻¹(t0) ]]^Bag
+    t0.fold(e, s, u)       =>  [[ x | x <- MC⁻¹(t0) ]]^fold(e,s,u)
+
+The Python frontend lifts generator expressions straight into
+comprehensions, so this module's job is the hard-coded chains (and the
+chains the frontend produces for method-style code).  Resugaring applies
+bottom-up across the whole expression, so chains nested inside heads,
+predicates, and other operators are recovered too.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.comprehension.exprs import (
+    Expr,
+    FilterCall,
+    FlatMapCall,
+    FoldCall,
+    MapCall,
+    Ref,
+    transform,
+)
+from repro.comprehension.ir import (
+    BAG,
+    Comprehension,
+    Flatten,
+    FoldKind,
+    Generator,
+    Guard,
+)
+
+_fresh_counter = itertools.count()
+
+
+def _gen_var(preferred: str | None) -> str:
+    """Pick a generator variable name; synthesize one when needed."""
+    if preferred:
+        return preferred
+    return f"_v{next(_fresh_counter)}"
+
+
+def resugar(expr: Expr) -> Expr:
+    """Recover comprehensions from monad-operator chains, bottom-up."""
+    return transform(expr, _resugar_node)
+
+
+def _resugar_node(node: Expr) -> Expr:
+    if isinstance(node, MapCall):
+        var = _gen_var(node.fn.params[0] if node.fn.params else None)
+        head = node.fn.body.substitute({node.fn.params[0]: Ref(var)})
+        return Comprehension(
+            head=head,
+            qualifiers=(Generator(var, node.source),),
+            kind=BAG,
+        )
+    if isinstance(node, FilterCall):
+        var = _gen_var(node.fn.params[0] if node.fn.params else None)
+        predicate = node.fn.body.substitute({node.fn.params[0]: Ref(var)})
+        return Comprehension(
+            head=Ref(var),
+            qualifiers=(Generator(var, node.source), Guard(predicate)),
+            kind=BAG,
+        )
+    if isinstance(node, FlatMapCall):
+        var = _gen_var(node.fn.params[0] if node.fn.params else None)
+        head = node.fn.body.substitute({node.fn.params[0]: Ref(var)})
+        return Flatten(
+            Comprehension(
+                head=head,
+                qualifiers=(Generator(var, node.source),),
+                kind=BAG,
+            )
+        )
+    if isinstance(node, FoldCall):
+        var = _gen_var(None)
+        return Comprehension(
+            head=Ref(var),
+            qualifiers=(Generator(var, node.source),),
+            kind=FoldKind(node.spec),
+        )
+    return node

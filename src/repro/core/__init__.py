@@ -1,0 +1,37 @@
+"""The user-facing Emma language core (paper Section 3, Listing 3).
+
+``DataBag`` is the single collection abstraction: a homogeneous bag that
+supports the monad operators (``map``, ``flat_map``, ``with_filter``),
+nesting through ``group_by`` (group values are themselves DataBags),
+structural recursion through ``fold`` and its aliases, and conversion
+to/from host-language sequences.  ``StatefulBag`` adds point-wise
+iterative refinement for graph-style algorithms.
+
+All operators have direct host-language semantics — programs run locally
+as plain Python, which is both the paper's rapid-prototyping story and
+this library's differential-testing oracle for the parallel backends.
+"""
+
+from repro.core.databag import DataBag
+from repro.core.grp import Grp
+from repro.core.io import (
+    CsvFormat,
+    JsonLinesFormat,
+    read_csv,
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+)
+from repro.core.stateful import StatefulBag
+
+__all__ = [
+    "DataBag",
+    "Grp",
+    "StatefulBag",
+    "CsvFormat",
+    "JsonLinesFormat",
+    "read_csv",
+    "read_jsonl",
+    "write_csv",
+    "write_jsonl",
+]

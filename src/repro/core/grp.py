@@ -1,0 +1,42 @@
+"""The ``Grp`` type produced by ``DataBag.group_by`` (paper Section 3.1).
+
+A group pairs a key with its values, and — unlike Spark/Flink/Hadoop,
+where group values are an ``Iterable``/``Iterator`` — the values here are
+a first-class ``DataBag``.  That uniformity is what lets the compiler
+treat nested bag patterns (``g.values.count()`` inside a comprehension
+head) with the same machinery as top-level bags and rewrite them into
+partial aggregates (fold-group fusion, Section 4.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generic, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.databag import DataBag
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class Grp(Generic[K, V]):
+    """A group: ``key`` plus a ``DataBag`` of ``values``."""
+
+    __slots__ = ("key", "values")
+
+    def __init__(self, key: K, values: "DataBag[V]") -> None:
+        self.key = key
+        self.values = values
+
+    def __repr__(self) -> str:
+        return f"Grp(key={self.key!r}, values={self.values!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Grp):
+            return NotImplemented
+        return self.key == other.key and self.values == other.values
+
+    def __hash__(self) -> int:
+        # Groups hash by key only; two groups with equal keys in the same
+        # bag cannot occur (group_by produces one group per key).
+        return hash(("Grp", self.key))

@@ -1,0 +1,148 @@
+"""Reading and writing DataBags (paper Listing 3, lines 5-6).
+
+Two concrete formats are provided:
+
+* :class:`CsvFormat` — typed CSV for flat record classes (dataclasses or
+  any class constructible from keyword arguments with simple field
+  types);
+* :class:`JsonLinesFormat` — one JSON object per line, for records with
+  nested list fields (e.g. k-means points carrying a position vector).
+
+Both work against the local filesystem here; on a simulated engine,
+reads and writes go through the simulated DFS instead and are charged to
+the engine's cost model (see :mod:`repro.engines.dfs`).
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Callable, Generic, Type, TypeVar
+
+from repro.core.databag import DataBag
+from repro.errors import EmmaError
+
+R = TypeVar("R")
+
+_SIMPLE_PARSERS: dict[type, Callable[[str], object]] = {
+    int: int,
+    float: float,
+    str: str,
+    bool: lambda s: s.strip().lower() in ("true", "1", "yes"),
+}
+
+
+class CsvFormat(Generic[R]):
+    """Typed CSV (de)serialization for a flat record class.
+
+    The record class must be a dataclass (or expose ``__annotations__``
+    and accept keyword construction).  Field types must be ``int``,
+    ``float``, ``str`` or ``bool``.
+
+    Example::
+
+        @dataclass(frozen=True)
+        class Point:
+            id: int
+            x: float
+            y: float
+
+        bag = read_csv(path, CsvFormat(Point))
+    """
+
+    def __init__(self, record_type: Type[R]) -> None:
+        self.record_type = record_type
+        if dataclasses.is_dataclass(record_type):
+            self._fields = {
+                f.name: f.type for f in dataclasses.fields(record_type)
+            }
+        else:
+            self._fields = dict(getattr(record_type, "__annotations__", {}))
+        if not self._fields:
+            raise EmmaError(
+                f"{record_type.__name__} has no fields; CsvFormat needs a "
+                "dataclass or an annotated record class"
+            )
+        by_name = {"int": int, "float": float, "str": str, "bool": bool}
+        self._parsers: dict[str, Callable[[str], object]] = {}
+        for name, ftype in self._fields.items():
+            if isinstance(ftype, str):
+                # Dataclass field types can be unevaluated string
+                # annotations (PEP 563); resolve the simple ones by name.
+                ftype = by_name.get(ftype, ftype)
+            parser = _SIMPLE_PARSERS.get(ftype)  # type: ignore[arg-type]
+            if parser is None:
+                raise EmmaError(
+                    f"field {name!r} of {record_type.__name__} has "
+                    f"unsupported CSV type {ftype!r}"
+                )
+            self._parsers[name] = parser
+
+    def parse_row(self, row: dict[str, str]) -> R:
+        """One CSV row (as a dict) -> record instance."""
+        kwargs = {
+            name: parser(row[name]) for name, parser in self._parsers.items()
+        }
+        return self.record_type(**kwargs)
+
+    def unparse_record(self, record: R) -> dict[str, object]:
+        """Record instance -> one CSV row (as a dict)."""
+        return {name: getattr(record, name) for name in self._fields}
+
+    @property
+    def field_names(self) -> list[str]:
+        return list(self._fields)
+
+
+class JsonLinesFormat(Generic[R]):
+    """One JSON object per line; supports nested list/dict fields."""
+
+    def __init__(self, record_type: Type[R]) -> None:
+        self.record_type = record_type
+
+    def parse_line(self, line: str) -> R:
+        """One JSON line -> record instance."""
+        data = json.loads(line)
+        return self.record_type(**data)
+
+    def unparse_record(self, record: R) -> str:
+        """Record instance -> one compact JSON line (no newline)."""
+        if dataclasses.is_dataclass(record):
+            payload = dataclasses.asdict(record)
+        else:
+            payload = dict(vars(record))
+        return json.dumps(payload, separators=(",", ":"))
+
+
+def read_csv(path: str | Path, fmt: CsvFormat[R]) -> DataBag[R]:
+    """Read a CSV file (with header) into a DataBag of records."""
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        return DataBag(fmt.parse_row(row) for row in reader)
+
+
+def write_csv(path: str | Path, fmt: CsvFormat[R], bag: DataBag[R]) -> None:
+    """Write a DataBag of records to a CSV file with a header row."""
+    with open(path, "w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=fmt.field_names)
+        writer.writeheader()
+        for record in bag:
+            writer.writerow(fmt.unparse_record(record))
+
+
+def read_jsonl(path: str | Path, fmt: JsonLinesFormat[R]) -> DataBag[R]:
+    """Read a JSON-lines file into a DataBag of records."""
+    with open(path) as f:
+        return DataBag(fmt.parse_line(line) for line in f if line.strip())
+
+
+def write_jsonl(
+    path: str | Path, fmt: JsonLinesFormat[R], bag: DataBag[R]
+) -> None:
+    """Write a DataBag of records to a JSON-lines file."""
+    with open(path, "w") as f:
+        for record in bag:
+            f.write(fmt.unparse_record(record))
+            f.write("\n")

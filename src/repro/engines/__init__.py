@@ -1,0 +1,47 @@
+"""Simulated parallel runtime engines.
+
+The paper evaluates on Spark v1.2 and Flink v0.8 clusters; neither is
+available here, so this subpackage implements both execution models
+from scratch as single-process simulators that really move tuples
+between simulated workers and charge every byte and element operation
+to a calibrated cost model:
+
+* :class:`repro.engines.local.LocalEngine` — direct host-language
+  execution (the development/debugging mode and the test oracle);
+* :class:`repro.engines.sparklike.SparkLikeEngine` — lazy acyclic
+  dataflows with lineage recomputation, stage-per-shuffle overheads,
+  in-memory caching, and cheap broadcasts;
+* :class:`repro.engines.flinklike.FlinkLikeEngine` — pipelined operator
+  chains, costly per-task broadcast materialization, and *no* in-memory
+  cache (cached results spill to the simulated DFS), matching the
+  paper's observations about Flink v0.8.
+
+Engines execute combinator dataflows (:mod:`repro.lowering`) and return
+driver-side values; a :class:`repro.engines.metrics.Metrics` object
+accumulates simulated seconds, shuffled/broadcast/DFS bytes, and element
+operations.
+"""
+
+from repro.engines.base import BagHandle, DeferredBag, Engine
+from repro.engines.cluster import ClusterConfig, PartitionedBag, Partitioner
+from repro.engines.costmodel import CostModel
+from repro.engines.dfs import SimulatedDFS
+from repro.engines.flinklike import FlinkLikeEngine
+from repro.engines.local import LocalEngine
+from repro.engines.metrics import Metrics
+from repro.engines.sparklike import SparkLikeEngine
+
+__all__ = [
+    "BagHandle",
+    "DeferredBag",
+    "Engine",
+    "ClusterConfig",
+    "PartitionedBag",
+    "Partitioner",
+    "CostModel",
+    "SimulatedDFS",
+    "FlinkLikeEngine",
+    "LocalEngine",
+    "Metrics",
+    "SparkLikeEngine",
+]

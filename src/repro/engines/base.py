@@ -1,0 +1,270 @@
+"""Engine interface, lazy bag thunks, and cached bag handles.
+
+Three kinds of driver-side bag values circulate between the driver
+interpreter and an engine (mirroring Figure 3b's data-motion agents):
+
+* :class:`DeferredBag` — a *thunk* [paper §4.3.2]: an unevaluated
+  dataflow (combinator root plus an environment snapshot).  Consumed as
+  a dataflow **input**, its lineage is inlined and recomputed within the
+  consuming job — the lazy-evaluation semantics of Spark RDDs and Flink
+  DataSets.  **Forced** (for a broadcast, a fetch, or a driver scalar),
+  it executes once and memoizes the collected result, exactly like the
+  paper's ``Thunk.force``.
+* :class:`BagHandle` — a cached, materialized distributed bag.  The
+  engine's cache policy decides the medium: the Spark-like engine keeps
+  partitions in worker memory (cheap to re-read); the Flink-like engine
+  has no in-memory cache and spills to the simulated DFS, paying
+  read/write I/O on every use (the paper's Section 5.2 observation).
+* a plain host collection / ``DataBag`` — driver-local data, shipped to
+  the cluster (``parallelize``) on use.
+
+Engines are deterministic simulators: they execute the dataflow on real
+partitioned Python data while charging every byte and element operation
+to the :class:`~repro.engines.costmodel.CostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.core.databag import DataBag
+from repro.engines.cluster import ClusterConfig, PartitionedBag
+from repro.engines.costmodel import CostModel
+from repro.engines.dfs import SimulatedDFS
+from repro.engines.metrics import JobRun, Metrics
+from repro.errors import EngineError, SimulatedTimeout
+from repro.lowering.combinators import Combinator, ScalarFn
+
+
+class DeferredBag:
+    """A lazy dataflow thunk (see module docstring)."""
+
+    __slots__ = ("engine", "root", "env", "_forced")
+
+    def __init__(
+        self, engine: "Engine", root: Combinator, env: dict[str, Any]
+    ) -> None:
+        self.engine = engine
+        self.root = root
+        self.env = env
+        self._forced: list[Any] | None = None
+
+    @property
+    def is_forced(self) -> bool:
+        return self._forced is not None
+
+    def force_local(self) -> list[Any]:
+        """Execute once and memoize the driver-collected records."""
+        if self._forced is None:
+            self._forced = self.engine.collect(self)
+        return self._forced
+
+    def __repr__(self) -> str:
+        state = "forced" if self.is_forced else "lazy"
+        return f"DeferredBag({self.root.describe()}, {state})"
+
+
+@dataclass
+class BagHandle:
+    """A cached, materialized distributed bag."""
+
+    engine: "Engine"
+    bag: PartitionedBag
+    storage: str  # "memory" | "dfs"
+    dfs_path: str | None = None
+
+    def count(self) -> int:
+        """Number of records in the cached bag."""
+        return self.bag.count()
+
+    def __repr__(self) -> str:
+        return f"BagHandle({self.bag!r}, storage={self.storage})"
+
+
+class Engine:
+    """Base simulated engine: configuration plus the driver-facing API.
+
+    Subclasses set the class attributes that differentiate the execution
+    models; all dataflow mechanics live in
+    :class:`repro.engines.executor.JobExecutor`.
+    """
+
+    #: engine display name
+    name = "abstract"
+    #: broadcast cost multiplier (Flink's broadcast handling re-
+    #: materializes per task and is substantially more expensive)
+    broadcast_factor = 1.0
+    #: where cached bags live: "memory" or "dfs"
+    cache_storage = "memory"
+    #: whether shuffles spill through local disk (Spark-style)
+    shuffle_via_disk = True
+    #: per-task driver-side scheduling overhead, seconds (centralized
+    #: scheduling makes this grow with the number of partitions)
+    task_overhead = 0.0
+    #: extra element-op factor for materializing groups (groupBy)
+    group_materialize_factor = 1.0
+    #: whether groupBy materialization is bounded by worker memory
+    group_memory_bound = False
+    #: whether grouping streams through sorted disk spills instead of
+    #: materializing groups in memory (Flink's sort-based grouping)
+    group_spill_to_disk = False
+    #: max estimated bytes of a build side for broadcast join strategy
+    broadcast_join_threshold = 4 * 1024 * 1024
+
+    def __init__(
+        self,
+        cluster: ClusterConfig | None = None,
+        cost: CostModel | None = None,
+        dfs: SimulatedDFS | None = None,
+        time_budget: float | None = None,
+    ) -> None:
+        self.cluster = cluster or ClusterConfig()
+        self.cost = cost or CostModel()
+        self.dfs = dfs or SimulatedDFS()
+        self.time_budget = time_budget
+        self.metrics = Metrics()
+        self._cache_seq = 0
+
+    # -- driver-facing API -------------------------------------------------
+
+    def defer(
+        self, root: Combinator, env: Mapping[str, Any]
+    ) -> DeferredBag:
+        """Wrap a bag-typed dataflow as a lazy thunk (no execution)."""
+        return DeferredBag(self, root, dict(env))
+
+    def run_scalar(self, root: Combinator, env: Mapping[str, Any]) -> Any:
+        """Execute a fold/write dataflow now and return its result."""
+        from repro.engines.executor import JobExecutor
+
+        job = self._new_job()
+        result = JobExecutor(self, dict(env), job).run(root)
+        self._finish_job(job)
+        return result
+
+    def collect(self, value: Any) -> list[Any]:
+        """Materialize any bag value on the driver (``fetch``)."""
+        if isinstance(value, DataBag):
+            return value.fetch()
+        if isinstance(value, list):
+            return list(value)
+        if isinstance(value, DeferredBag):
+            if value.is_forced:
+                return value.force_local()
+            from repro.engines.executor import JobExecutor
+
+            job = self._new_job()
+            bag = JobExecutor(self, value.env, job).run_bag(value.root)
+            nbytes = bag.nbytes()
+            job.charge_driver(self.cost.driver_seconds(nbytes))
+            self.metrics.driver_collect_bytes += nbytes
+            self._finish_job(job)
+            return bag.collect()
+        if isinstance(value, BagHandle):
+            job = self._new_job()
+            bag = self._read_cached(value, job)
+            nbytes = bag.nbytes()
+            job.charge_driver(self.cost.driver_seconds(nbytes))
+            self.metrics.driver_collect_bytes += nbytes
+            self._finish_job(job)
+            return bag.collect()
+        raise EngineError(
+            f"cannot collect a {type(value).__name__} as a bag"
+        )
+
+    def cache(
+        self, value: Any, partition_key: ScalarFn | None = None
+    ) -> BagHandle:
+        """Materialize ``value`` per the engine's cache policy.
+
+        With ``partition_key``, the bag is hash-partitioned on that key
+        *before* being stored (the partition-pulling optimization pays
+        its one shuffle here, amortized over later uses).
+        """
+        from repro.engines.executor import JobExecutor
+
+        job = self._new_job()
+        executor = JobExecutor(self, {}, job)
+        if isinstance(value, DeferredBag):
+            executor.env = value.env
+            bag = executor.run_bag(value.root)
+        elif isinstance(value, BagHandle):
+            bag = self._read_cached(value, job)
+        elif isinstance(value, DataBag):
+            bag = executor.parallelize_local(value.fetch())
+        elif isinstance(value, list):
+            bag = executor.parallelize_local(value)
+        else:
+            raise EngineError(
+                f"cannot cache a {type(value).__name__} as a bag"
+            )
+        if partition_key is not None and not (
+            bag.partitioner is not None
+            and bag.partitioner.matches(partition_key, bag.num_partitions)
+        ):
+            bag = executor.shuffle_by_key(bag, partition_key)
+        handle = self._store_cached(bag, job)
+        self._finish_job(job)
+        return handle
+
+    # -- cache policy ------------------------------------------------------
+
+    def _store_cached(self, bag: PartitionedBag, job: JobRun) -> BagHandle:
+        nbytes = bag.nbytes()
+        if self.cache_storage == "memory":
+            # Writing to the in-memory store costs one local pass.
+            job.charge_spread(self.cost.cpu_seconds(bag.count()))
+            self.metrics.cache_write_bytes += nbytes
+            return BagHandle(self, bag, "memory")
+        # DFS-backed cache: pay a distributed write now ...
+        self._cache_seq += 1
+        path = f"__cache__/{self.name}/{self._cache_seq}"
+        self.dfs.put(path, bag.collect())
+        job.charge_spread(self.cost.dfs_write_seconds(nbytes))
+        self.metrics.dfs_write_bytes += nbytes
+        self.metrics.cache_write_bytes += nbytes
+        return BagHandle(self, bag, "dfs", dfs_path=path)
+
+    def _read_cached(self, handle: BagHandle, job: JobRun) -> PartitionedBag:
+        """Access a cached bag, charging per the storage medium."""
+        nbytes = handle.bag.nbytes()
+        if handle.storage == "memory":
+            self.metrics.cache_read_bytes += nbytes
+            return handle.bag
+        # ... and a distributed read on every use.
+        job.charge_spread(self.cost.dfs_read_seconds(nbytes))
+        self.metrics.dfs_read_bytes += nbytes
+        self.metrics.cache_read_bytes += nbytes
+        # A DFS round-trip loses the in-memory partitioning only if the
+        # engine does not track it; partitioning survives because the
+        # cache stores partition boundaries with the file.
+        return handle.bag
+
+    # -- job lifecycle -------------------------------------------------------
+
+    def _new_job(self) -> JobRun:
+        return JobRun(self.cluster.num_workers, self.metrics)
+
+    def _finish_job(self, job: JobRun) -> float:
+        job_time = job.finish(
+            fixed_overhead=self.cost.job_overhead,
+            stage_overhead=self.cost.stage_overhead,
+        )
+        if (
+            self.time_budget is not None
+            and self.metrics.simulated_seconds > self.time_budget
+        ):
+            raise SimulatedTimeout(
+                self.metrics.simulated_seconds, self.time_budget
+            )
+        return job_time
+
+    def reset_metrics(self) -> None:
+        """Start a fresh metrics accumulation (between experiments)."""
+        self.metrics = Metrics()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(workers={self.cluster.num_workers})"
+        )

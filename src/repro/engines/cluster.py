@@ -1,0 +1,164 @@
+"""Partitioned datasets and cluster configuration.
+
+A :class:`PartitionedBag` is the engines' runtime representation of a
+distributed bag: a list of partitions (partition ``i`` lives on worker
+``i % num_workers``) plus an optional :class:`Partitioner` recording
+that the data is hash-partitioned on a key.  Partitioner equality is
+*structural over the key's IR* — two dataflows that partition on the
+same lifted key expression recognize each other's partitioning, which
+is what makes the partition-pulling optimization able to elide
+shuffles.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.engines.sizes import estimate_bag_bytes
+from repro.lowering.combinators import ScalarFn
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape of the simulated cluster."""
+
+    num_workers: int = 8
+    #: partitions per dataflow (defaults to num_workers when 0)
+    default_parallelism: int = 0
+
+    @property
+    def parallelism(self) -> int:
+        return self.default_parallelism or self.num_workers
+
+
+@dataclass(frozen=True)
+class Partitioner:
+    """Hash partitioning on a key function over a partition count."""
+
+    key: ScalarFn
+    num_partitions: int
+
+    def matches(self, key: ScalarFn, num_partitions: int) -> bool:
+        """Whether this partitioning satisfies the requested one
+        (alpha-insensitive on the key's parameter names)."""
+        if self.num_partitions != num_partitions:
+            return False
+        if self.key == key:
+            return True
+        return self.key.canonical() == key.canonical()
+
+
+def stable_hash(value: Any) -> int:
+    """A process-independent hash for partitioning.
+
+    Python's builtin ``hash`` is salted per process for strings (PEP
+    456), which would make partition layouts — and therefore skew-
+    sensitive experiment outcomes — vary between runs.  This hash is
+    deterministic: integers map to themselves, strings/bytes through
+    CRC32, and tuples combine recursively.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return zlib.crc32(value)
+    if isinstance(value, float):
+        return zlib.crc32(repr(value).encode("utf-8"))
+    if isinstance(value, tuple):
+        acc = 0x345678
+        for item in value:
+            acc = (acc * 1000003) ^ stable_hash(item)
+            acc &= 0xFFFFFFFF
+        return acc
+    if value is None:
+        return 0
+    # Fall back to repr for other hashable records (dataclasses).
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+def hash_partition_index(key_value: Any, num_partitions: int) -> int:
+    """Deterministic partition index for a key value."""
+    return stable_hash(key_value) % num_partitions
+
+
+class PartitionedBag:
+    """A distributed bag: one record list per partition."""
+
+    __slots__ = ("partitions", "partitioner")
+
+    def __init__(
+        self,
+        partitions: Sequence[Sequence[Any]],
+        partitioner: Partitioner | None = None,
+    ) -> None:
+        self.partitions: list[list[Any]] = [list(p) for p in partitions]
+        self.partitioner = partitioner
+
+    @staticmethod
+    def from_records(
+        records: Iterable[Any], num_partitions: int
+    ) -> "PartitionedBag":
+        """Round-robin distribute records over ``num_partitions``."""
+        partitions: list[list[Any]] = [[] for _ in range(num_partitions)]
+        for i, record in enumerate(records):
+            partitions[i % num_partitions].append(record)
+        return PartitionedBag(partitions)
+
+    @staticmethod
+    def by_key(
+        records: Iterable[Any],
+        key_fn: Callable[[Any], Any],
+        key_ir: ScalarFn,
+        num_partitions: int,
+    ) -> "PartitionedBag":
+        """Hash-partition records by ``key_fn``."""
+        partitions: list[list[Any]] = [[] for _ in range(num_partitions)]
+        for record in records:
+            idx = hash_partition_index(key_fn(record), num_partitions)
+            partitions[idx].append(record)
+        return PartitionedBag(
+            partitions, Partitioner(key_ir, num_partitions)
+        )
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def count(self) -> int:
+        """Total number of records across partitions."""
+        return sum(len(p) for p in self.partitions)
+
+    def records(self) -> Iterator[Any]:
+        """Iterate all records, partition by partition."""
+        for p in self.partitions:
+            yield from p
+
+    def collect(self) -> list[Any]:
+        """All records as one list (driver-side materialization)."""
+        return [r for p in self.partitions for r in p]
+
+    def nbytes(self) -> int:
+        """Estimated serialized bytes of the whole bag."""
+        return sum(estimate_bag_bytes(p) for p in self.partitions)
+
+    def partition_bytes(self) -> list[int]:
+        """Estimated bytes per partition (skew diagnostics)."""
+        return [estimate_bag_bytes(p) for p in self.partitions]
+
+    def copy(self) -> "PartitionedBag":
+        """A deep-enough copy (fresh partition lists, same records)."""
+        return PartitionedBag(
+            [list(p) for p in self.partitions], self.partitioner
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionedBag({self.count()} records, "
+            f"{self.num_partitions} partitions, "
+            f"partitioner={self.partitioner is not None})"
+        )

@@ -1,0 +1,63 @@
+"""A simulated distributed filesystem (the HDFS substitute).
+
+Workload generators *stage* datasets into the DFS with :meth:`put`;
+dataflow ``Source`` operators read them back, charging DFS read time to
+the cost model.  Engines without in-memory caching (the Flink-like one)
+also spill cached intermediates here, which is how the paper explains
+Flink's missing caching benefit in Section 5.2.
+
+Files store Python records plus their estimated serialized size; reads
+hand out the record list without copying (operators must not mutate
+records — they never do, records are treated as immutable throughout).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.engines.sizes import estimate_bag_bytes
+from repro.errors import EngineError
+
+
+@dataclass
+class DfsFile:
+    """One stored file: records plus estimated serialized bytes."""
+
+    records: list[Any]
+    nbytes: int
+
+
+class SimulatedDFS:
+    """A path -> file mapping with byte-size bookkeeping."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, DfsFile] = {}
+
+    def put(self, path: str, records: Sequence[Any]) -> DfsFile:
+        """Stage a dataset (no cost accounting — setup, not execution)."""
+        stored = DfsFile(records=list(records), nbytes=estimate_bag_bytes(records))
+        self._files[path] = stored
+        return stored
+
+    def get(self, path: str) -> DfsFile:
+        """The stored file at ``path`` (raises EngineError if absent)."""
+        if path not in self._files:
+            raise EngineError(f"no such DFS file: {path!r}")
+        return self._files[path]
+
+    def exists(self, path: str) -> bool:
+        """Whether a file is staged at ``path``."""
+        return path in self._files
+
+    def delete(self, path: str) -> None:
+        """Remove ``path`` if present (idempotent)."""
+        self._files.pop(path, None)
+
+    def listdir(self) -> list[str]:
+        """All staged paths, sorted."""
+        return sorted(self._files)
+
+    def total_bytes(self) -> int:
+        """Total estimated bytes across all staged files."""
+        return sum(f.nbytes for f in self._files.values())

@@ -1,0 +1,752 @@
+"""The combinator-dataflow executor shared by the simulated engines.
+
+A :class:`JobExecutor` runs one dataflow job: it evaluates a combinator
+tree bottom-up over :class:`~repro.engines.cluster.PartitionedBag`
+values, really applying the UDFs to every record, while charging
+compute, network, disk, and broadcast costs into the job's per-worker
+time accounts.  Partition ``i`` lives on worker ``i % num_workers``;
+job time is the busiest worker's time, so key skew (the Pareto
+distribution of Figure 5c) naturally produces the skewed runtimes the
+paper reports.
+
+Engine-specific behaviour is read off the engine's class attributes:
+``broadcast_factor``, ``shuffle_via_disk``, ``group_spill_to_disk``,
+``group_memory_bound``, ``group_materialize_factor``, ``task_overhead``,
+and ``broadcast_join_threshold``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.comprehension.exprs import Env
+from repro.core.databag import DataBag
+from repro.core.grp import Grp
+from repro.engines.cluster import (
+    PartitionedBag,
+    Partitioner,
+    hash_partition_index,
+)
+from repro.engines.metrics import JobRun
+from repro.engines.sizes import estimate_bag_bytes, estimate_record_bytes
+from repro.errors import EngineError, SimulatedMemoryError
+from repro.lowering.combinators import (
+    AggResult,
+    CAggBy,
+    CBagRef,
+    CCross,
+    CDistinct,
+    CEqJoin,
+    CFilter,
+    CFlatMap,
+    CFold,
+    CGroupBy,
+    CMap,
+    CMinus,
+    CParallelize,
+    CSemiJoin,
+    CSource,
+    CUnion,
+    Combinator,
+    ScalarFn,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engines.base import Engine
+
+
+def _attr_key(var: str, attr: str) -> ScalarFn:
+    from repro.comprehension.exprs import Attr, Ref
+
+    return ScalarFn((var,), Attr(Ref(var), attr))
+
+
+class JobExecutor:
+    """Executes one dataflow job on a simulated engine."""
+
+    def __init__(
+        self, engine: "Engine", env: dict[str, Any], job: JobRun
+    ) -> None:
+        self.engine = engine
+        self.env = env
+        self.job = job
+        self.parallelism = engine.cluster.parallelism
+        self.num_workers = engine.cluster.num_workers
+        self._broadcast_memo: dict[int, DataBag] = {}
+        self._worker_group_bytes = [0] * self.num_workers
+
+    # -- entry points ------------------------------------------------------
+
+    def run(self, root: Combinator) -> Any:
+        """Execute; returns a scalar for a fold root, else a bag."""
+        if isinstance(root, CFold):
+            return self._exec_fold(root)
+        return self.run_bag(root)
+
+    def run_bag(self, root: Combinator) -> PartitionedBag:
+        """Execute a bag-typed dataflow; folds are rejected here."""
+        if isinstance(root, CFold):
+            raise EngineError("fold dataflow where a bag was expected")
+        return self._exec(root)
+
+    # -- recursion ------------------------------------------------------------
+
+    def _exec(self, comb: Combinator) -> PartitionedBag:
+        self.job.charge_driver(
+            self.engine.task_overhead * self.parallelism
+        )
+        handler = self._HANDLERS.get(type(comb))
+        if handler is None:
+            raise EngineError(
+                f"engine cannot execute combinator {type(comb).__name__}"
+            )
+        bag = handler(self, comb)
+        if comb.partition_hint is not None:
+            bag = self.shuffle_by_key(bag, comb.partition_hint)
+        return bag
+
+    def _worker_of(self, partition_index: int) -> int:
+        return partition_index % self.num_workers
+
+    # -- leaves ---------------------------------------------------------------
+
+    def _exec_source(self, comb: CSource) -> PartitionedBag:
+        path = comb.path.evaluate(Env.of(self.env))
+        stored = self.engine.dfs.get(path)
+        self.job.charge_spread(
+            self.engine.cost.dfs_read_seconds(stored.nbytes)
+        )
+        self.engine.metrics.dfs_read_bytes += stored.nbytes
+        return PartitionedBag.from_records(
+            stored.records, self.parallelism
+        )
+
+    def _exec_parallelize(self, comb: CParallelize) -> PartitionedBag:
+        value = comb.seq.evaluate(Env.of(self.env))
+        records = value.fetch() if isinstance(value, DataBag) else list(value)
+        return self.parallelize_local(records)
+
+    def parallelize_local(self, records: list[Any]) -> PartitionedBag:
+        """Ship driver-local records to the cluster."""
+        nbytes = estimate_bag_bytes(records)
+        self.job.charge_driver(self.engine.cost.driver_seconds(nbytes))
+        self.engine.metrics.driver_ship_bytes += nbytes
+        return PartitionedBag.from_records(records, self.parallelism)
+
+    def _exec_bag_ref(self, comb: CBagRef) -> PartitionedBag:
+        from repro.engines.base import BagHandle, DeferredBag
+
+        if comb.name not in self.env:
+            raise EngineError(
+                f"dataflow references unbound driver name {comb.name!r}"
+            )
+        value = self.env[comb.name]
+        if isinstance(value, BagHandle):
+            return self.engine._read_cached(value, self.job)
+        if isinstance(value, DeferredBag):
+            if value.is_forced:
+                # A forced thunk is driver-local data; ship it back.
+                return self.parallelize_local(value.force_local())
+            # Lazy lineage: inline the recipe into this job (Spark/Flink
+            # lazy-evaluation semantics — recomputed on every use).
+            nested = JobExecutor(self.engine, value.env, self.job)
+            return nested.run_bag(value.root)
+        if isinstance(value, DataBag):
+            return self.parallelize_local(value.fetch())
+        if isinstance(value, (list, tuple)):
+            return self.parallelize_local(list(value))
+        if isinstance(value, PartitionedBag):
+            return value
+        from repro.engines.stateful import DistributedStatefulBag
+
+        if isinstance(value, DistributedStatefulBag):
+            return value.bag()
+        from repro.core.stateful import StatefulBag
+
+        if isinstance(value, StatefulBag):
+            return self.parallelize_local(value.bag().fetch())
+        raise EngineError(
+            f"driver name {comb.name!r} is not a bag "
+            f"(found {type(value).__name__})"
+        )
+
+    # -- element-wise -----------------------------------------------------------
+
+    def _exec_map(self, comb: CMap) -> PartitionedBag:
+        source = self._exec(comb.input)
+        fn, extra = self._compile_udf(comb.fn)
+        out: list[list[Any]] = []
+        for i, p in enumerate(source.partitions):
+            out.append([fn(x) for x in p])
+            self._charge_cpu(i, len(p) * (1 + extra) + self._record_ops(p))
+        self.engine.metrics.udf_invocations += source.count()
+        return PartitionedBag(out)
+
+    def _exec_flat_map(self, comb: CFlatMap) -> PartitionedBag:
+        source = self._exec(comb.input)
+        fn, extra = self._compile_udf(comb.fn)
+        out: list[list[Any]] = []
+        for i, p in enumerate(source.partitions):
+            rows: list[Any] = []
+            for x in p:
+                produced = fn(x)
+                if isinstance(produced, DataBag):
+                    rows.extend(produced.fetch())
+                else:
+                    rows.extend(produced)
+            out.append(rows)
+            self._charge_cpu(
+                i,
+                len(p) * (1 + extra)
+                + len(rows)
+                + self._record_ops(p),
+            )
+        self.engine.metrics.udf_invocations += source.count()
+        return PartitionedBag(out)
+
+    def _exec_filter(self, comb: CFilter) -> PartitionedBag:
+        source = self._exec(comb.input)
+        fn, extra = self._compile_udf(comb.predicate)
+        out: list[list[Any]] = []
+        for i, p in enumerate(source.partitions):
+            out.append([x for x in p if fn(x)])
+            self._charge_cpu(i, len(p) * (1 + extra) + self._record_ops(p))
+        self.engine.metrics.udf_invocations += source.count()
+        # Filtering preserves the partitioning of its input.
+        return PartitionedBag(out, source.partitioner)
+
+    # -- shuffles ---------------------------------------------------------------
+
+    def shuffle_by_key(
+        self, bag: PartitionedBag, key_ir: ScalarFn
+    ) -> PartitionedBag:
+        """Hash-repartition ``bag`` on ``key_ir`` (no-op if already so)."""
+        if bag.partitioner is not None and bag.partitioner.matches(
+            key_ir, bag.num_partitions
+        ):
+            return bag
+        key_fn, extra = self._compile_udf(key_ir)
+        n_parts = self.parallelism
+        new_partitions: list[list[Any]] = [[] for _ in range(n_parts)]
+        total_moved = 0
+        for i, p in enumerate(bag.partitions):
+            if not p:
+                continue
+            part_bytes = estimate_bag_bytes(p)
+            for record in p:
+                idx = hash_partition_index(key_fn(record), n_parts)
+                new_partitions[idx].append(record)
+            self._charge_cpu(i, len(p) * (1 + extra))
+            # Send side: assume an even spread of destinations.
+            locality = (self.num_workers - 1) / max(self.num_workers, 1)
+            sent = part_bytes * locality
+            total_moved += int(sent)
+            seconds = self.engine.cost.network_seconds(sent)
+            if self.engine.shuffle_via_disk:
+                seconds += self.engine.cost.disk_seconds(part_bytes)
+            self.job.charge_worker(self._worker_of(i), seconds)
+        # Receive side: charged exactly from the skew of new partitions.
+        locality = (self.num_workers - 1) / max(self.num_workers, 1)
+        for j, p in enumerate(new_partitions):
+            if not p:
+                continue
+            recv = estimate_bag_bytes(p) * locality
+            seconds = self.engine.cost.network_seconds(recv)
+            if self.engine.shuffle_via_disk:
+                seconds += self.engine.cost.disk_seconds(recv)
+            self.job.charge_worker(self._worker_of(j), seconds)
+        self.engine.metrics.shuffle_bytes += total_moved
+        self.engine.metrics.records_shuffled += bag.count()
+        self.job.add_stage()
+        return PartitionedBag(
+            new_partitions, Partitioner(key_ir, n_parts)
+        )
+
+    # -- broadcast ----------------------------------------------------------------
+
+    def broadcast_value(self, value: Any) -> DataBag:
+        """Make a driver/bag value available on all workers as a DataBag."""
+        from repro.engines.base import BagHandle, DeferredBag
+
+        memo_key = id(value)
+        if memo_key in self._broadcast_memo:
+            return self._broadcast_memo[memo_key]
+        if isinstance(value, DeferredBag):
+            records = value.force_local()
+        elif isinstance(value, BagHandle):
+            records = self.engine.collect(value)
+        elif isinstance(value, DataBag):
+            records = value.fetch()
+        elif isinstance(value, (list, tuple)):
+            records = list(value)
+        else:
+            raise EngineError(
+                f"cannot broadcast a {type(value).__name__}"
+            )
+        nbytes = estimate_bag_bytes(records)
+        factor = self.engine.broadcast_factor
+        per_worker = self.engine.cost.network_seconds(nbytes * factor)
+        self.job.charge_all_workers(per_worker)
+        self.engine.metrics.broadcast_bytes += int(
+            nbytes * self.num_workers * factor
+        )
+        self.engine.metrics.records_broadcast += (
+            len(records) * self.num_workers
+        )
+        self.job.add_stage()
+        local = DataBag(records)
+        self._broadcast_memo[memo_key] = local
+        return local
+
+    # -- UDF compilation -------------------------------------------------------------
+
+    def _compile_udf(self, fn: ScalarFn) -> tuple[Callable, int]:
+        """Close a UDF over the driver env; broadcast free bag values.
+
+        Returns the callable plus the *extra per-element op weight*: a
+        UDF that scans a broadcast bag per element (the paper's
+        nearest-centroid or blacklist-scan patterns) costs ``1 + |bag|``
+        ops per invocation.
+        """
+        fn, hoisted = self._hoist_closed_bags(fn)
+        bindings, extra = self._udf_bindings(
+            fn.free_names() - frozenset(hoisted)
+        )
+        for name, local in hoisted.items():
+            bindings[name] = local
+            extra += len(local)
+        return fn.compile(bindings), extra
+
+    def _hoist_closed_bags(
+        self, fn: ScalarFn
+    ) -> tuple[ScalarFn, dict[str, DataBag]]:
+        """Hoist closed bag subexpressions out of a UDF body.
+
+        Inlining can push whole dataflow expressions (e.g. a ``read``)
+        into UDF bodies that stay scalar when an optimization is
+        disabled.  Evaluating them per element would be both wrong in
+        cost and pathological in time, so each maximal bag-typed
+        subexpression with no dependence on the UDF parameters is
+        executed once as a nested dataflow and *broadcast* — the
+        transparent driver-to-UDF data motion of Section 4.3.2.
+        """
+        from repro.comprehension.exprs import Expr, Lambda, Ref, walk
+        from repro.comprehension.ir import Comprehension
+        from repro.comprehension.normalize import normalize
+        from repro.comprehension.resugar import resugar
+        from repro.lowering.rules import lower
+
+        # Names bound anywhere inside the body (lambda parameters,
+        # generator variables): a subexpression referencing any of them
+        # is not closed, no matter where it sits.
+        locally_bound = set(fn.params)
+        for node in walk(fn.body):
+            if isinstance(node, Lambda):
+                locally_bound.update(node.params)
+            if isinstance(node, Comprehension):
+                locally_bound.update(
+                    g.var for g in node.generators()
+                )
+        hoisted_nodes: dict[str, Expr] = {}
+
+        def visit(node: Expr) -> Expr:
+            is_bag = node.is_bag_typed() or (
+                isinstance(node, Comprehension) and not node.is_fold()
+            )
+            if (
+                is_bag
+                and not isinstance(node, Ref)
+                and not (node.free_vars() & locally_bound)
+                and all(name in self.env for name in node.free_vars())
+            ):
+                name = f"__hoisted_{len(hoisted_nodes)}"
+                hoisted_nodes[name] = node
+                return Ref(name)
+            return node.rebuild(visit)
+
+        body = visit(fn.body)
+        if not hoisted_nodes:
+            return fn, {}
+        values: dict[str, DataBag] = {}
+        for name, node in hoisted_nodes.items():
+            plan = lower(normalize(resugar(node)))
+            bag = JobExecutor(self.engine, self.env, self.job).run_bag(
+                plan
+            )
+            values[name] = self.broadcast_value(bag.collect())
+        return ScalarFn(fn.params, body), values
+
+    def _udf_bindings(
+        self, names: frozenset[str]
+    ) -> tuple[dict[str, Any], int]:
+        from repro.engines.base import BagHandle, DeferredBag
+
+        bindings: dict[str, Any] = {}
+        extra = 0
+        for name in sorted(names):
+            if name not in self.env:
+                raise EngineError(
+                    f"UDF references unbound driver name {name!r}"
+                )
+            value = self.env[name]
+            if isinstance(
+                value, (DeferredBag, BagHandle, DataBag)
+            ):
+                local = self.broadcast_value(value)
+                bindings[name] = local
+                extra += len(local)
+            else:
+                bindings[name] = value
+        return bindings, extra
+
+    def _record_ops(self, partition: list[Any]) -> float:
+        """Byte-proportional processing cost for record-wise UDFs."""
+        if not partition:
+            return 0.0
+        return estimate_bag_bytes(partition) / self.engine.cost.cpu_bytes_per_op
+
+    def _charge_cpu(self, partition_index: int, ops: float) -> None:
+        self.job.charge_worker(
+            self._worker_of(partition_index),
+            self.engine.cost.cpu_seconds(ops),
+        )
+        self.engine.metrics.element_ops += int(ops)
+
+    # -- joins -------------------------------------------------------------------------
+
+    def _exec_eq_join(self, comb: CEqJoin) -> PartitionedBag:
+        left = self._exec(comb.left)
+        right = self._exec(comb.right)
+        kx, ex = self._compile_udf(comb.kx)
+        ky, ey = self._compile_udf(comb.ky)
+        lbytes, rbytes = left.nbytes(), right.nbytes()
+        threshold = self.engine.broadcast_join_threshold
+        if min(lbytes, rbytes) <= threshold:
+            # Broadcast join: ship the small side everywhere.
+            self.engine.metrics.broadcast_joins += 1
+            if rbytes <= lbytes:
+                small, big = right, left
+                ks, kb = ky, kx
+                small_first = False
+            else:
+                small, big = left, right
+                ks, kb = kx, ky
+                small_first = True
+            table: dict[Any, list[Any]] = {}
+            small_records = small.collect()
+            self.broadcast_value(small_records)
+            for r in small_records:
+                table.setdefault(ks(r), []).append(r)
+            self.job.charge_all_workers(
+                self.engine.cost.cpu_seconds(len(small_records))
+            )
+            out: list[list[Any]] = []
+            for i, p in enumerate(big.partitions):
+                rows: list[Any] = []
+                for x in p:
+                    for m in table.get(kb(x), ()):
+                        rows.append((m, x) if small_first else (x, m))
+                out.append(rows)
+                self._charge_cpu(i, len(p) + len(rows))
+            return PartitionedBag(out)
+        # Repartition join.
+        self.engine.metrics.repartition_joins += 1
+        left = self.shuffle_by_key(left, comb.kx)
+        right = self.shuffle_by_key(right, comb.ky)
+        out = []
+        for i, (lp, rp) in enumerate(
+            zip(left.partitions, right.partitions)
+        ):
+            table = {}
+            for r in rp:
+                table.setdefault(ky(r), []).append(r)
+            rows = []
+            for x in lp:
+                for m in table.get(kx(x), ()):
+                    rows.append((x, m))
+            out.append(rows)
+            self._charge_cpu(i, len(lp) + len(rp) + len(rows))
+        return PartitionedBag(out)
+
+    def _exec_semi_join(self, comb: CSemiJoin) -> PartitionedBag:
+        left = self._exec(comb.left)
+        right = self._exec(comb.right)
+        kx, _ = self._compile_udf(comb.kx)
+        ky, _ = self._compile_udf(comb.ky)
+        if right.nbytes() <= self.engine.broadcast_join_threshold:
+            self.engine.metrics.broadcast_joins += 1
+            # Broadcast strategy: ship the (small) right side's key set;
+            # the left side never moves and keeps its partitioning.
+            keys = {ky(r) for r in right.records()}
+            self.broadcast_value(list(keys))
+            for i, p in enumerate(right.partitions):
+                self._charge_cpu(i, len(p))
+            out: list[list[Any]] = []
+            for i, p in enumerate(left.partitions):
+                if comb.anti:
+                    rows = [x for x in p if kx(x) not in keys]
+                else:
+                    rows = [x for x in p if kx(x) in keys]
+                out.append(rows)
+                self._charge_cpu(i, len(p))
+            return PartitionedBag(out, left.partitioner)
+        self.engine.metrics.repartition_joins += 1
+        # Repartition strategy: both sides shuffle *full records* on the
+        # key (the target engines of the paper had no key-projected
+        # semi-join — the unnested existential runs as a repartition
+        # join whose probe side is deduplicated per key).  A side that
+        # already carries the matching partitioning is not moved, which
+        # is what partition pulling exploits.
+        left = self.shuffle_by_key(left, comb.kx)
+        right = self.shuffle_by_key(right, comb.ky)
+        out = []
+        for i, (lp, rp) in enumerate(
+            zip(left.partitions, right.partitions)
+        ):
+            keys = {ky(r) for r in rp}
+            if comb.anti:
+                rows = [x for x in lp if kx(x) not in keys]
+            else:
+                rows = [x for x in lp if kx(x) in keys]
+            out.append(rows)
+            self._charge_cpu(i, len(lp) + len(rp))
+        return PartitionedBag(out, left.partitioner)
+
+    def _exec_cross(self, comb: CCross) -> PartitionedBag:
+        left = self._exec(comb.left)
+        right = self._exec(comb.right)
+        # Broadcast the smaller side.
+        if right.nbytes() <= left.nbytes():
+            small_records = right.collect()
+            big, small_on_right = left, True
+        else:
+            small_records = left.collect()
+            big, small_on_right = right, False
+        self.broadcast_value(small_records)
+        out: list[list[Any]] = []
+        for i, p in enumerate(big.partitions):
+            if small_on_right:
+                rows = [(x, y) for x in p for y in small_records]
+            else:
+                rows = [(y, x) for x in p for y in small_records]
+            out.append(rows)
+            self._charge_cpu(i, max(len(rows), len(p)))
+        return PartitionedBag(out)
+
+    # -- grouping / aggregation ------------------------------------------------------
+
+    def _exec_group_by(self, comb: CGroupBy) -> PartitionedBag:
+        source = self._exec(comb.input)
+        key_fn, extra = self._compile_udf(comb.key)
+        shuffled = self.shuffle_by_key(source, comb.key)
+        factor = self.engine.group_materialize_factor
+        out: list[list[Any]] = []
+        for i, p in enumerate(shuffled.partitions):
+            groups: dict[Any, list[Any]] = {}
+            for x in p:
+                groups.setdefault(key_fn(x), []).append(x)
+            out.append(
+                [Grp(k, DataBag(vs)) for k, vs in groups.items()]
+            )
+            ops = len(p) * (1 + extra) * factor
+            if self.engine.group_spill_to_disk and len(p) > 1:
+                # Sort-based grouping costs n log n, not n.
+                ops *= math.log2(len(p))
+            self._charge_cpu(i, ops)
+            self._account_group_memory(i, p)
+        return PartitionedBag(out, _grp_partitioner(shuffled, "key"))
+
+    def _account_group_memory(self, partition_index: int, p: list) -> None:
+        nbytes = estimate_bag_bytes(p)
+        if self.engine.group_spill_to_disk:
+            # Streaming/sort-based grouping spills through local disk.
+            seconds = self.engine.cost.disk_seconds(2 * nbytes)
+            self.job.charge_worker(
+                self._worker_of(partition_index), seconds
+            )
+            return
+        worker = self._worker_of(partition_index)
+        self._worker_group_bytes[worker] += nbytes
+        used = self._worker_group_bytes[worker]
+        if used > self.engine.metrics.peak_worker_bytes:
+            self.engine.metrics.peak_worker_bytes = used
+        if (
+            self.engine.group_memory_bound
+            and used > self.engine.cost.memory_per_worker
+        ):
+            raise SimulatedMemoryError(
+                worker, used, self.engine.cost.memory_per_worker
+            )
+
+    def _exec_agg_by(self, comb: CAggBy) -> PartitionedBag:
+        source = self._exec(comb.input)
+        key_fn, key_extra = self._compile_udf(comb.key)
+        spec_names: frozenset[str] = frozenset()
+        for spec in comb.specs:
+            spec_names |= spec.free_vars()
+        bindings, spec_extra = self._udf_bindings(spec_names)
+        algebras = [
+            spec.make_algebra(Env.of(bindings)) for spec in comb.specs
+        ]
+        extra = key_extra + spec_extra
+
+        aligned = source.partitioner is not None and (
+            source.partitioner.matches(comb.key, source.num_partitions)
+        )
+        # Phase 1: mapper-side partial aggregation.
+        partials: list[list[tuple[Any, tuple]]] = []
+        for i, p in enumerate(source.partitions):
+            acc: dict[Any, list[Any]] = {}
+            for x in p:
+                k = key_fn(x)
+                entry = acc.get(k)
+                if entry is None:
+                    acc[k] = [a.union(a.zero(), a.singleton(x)) for a in algebras]
+                else:
+                    for j, a in enumerate(algebras):
+                        entry[j] = a.union(entry[j], a.singleton(x))
+            partials.append([(k, tuple(v)) for k, v in acc.items()])
+            self._charge_cpu(
+                i, len(p) * (len(algebras) + extra) + len(acc)
+            )
+        partial_bag = PartitionedBag(
+            partials, source.partitioner if aligned else None
+        )
+        if not aligned:
+            # Phase 2: only the partial aggregates are shuffled.
+            partial_bag = self.shuffle_by_key(
+                partial_bag,
+                ScalarFn(
+                    ("_p",),
+                    _index0(),
+                ),
+            )
+        # Phase 3: reducer-side merge.
+        out: list[list[Any]] = []
+        for i, p in enumerate(partial_bag.partitions):
+            merged: dict[Any, list[Any]] = {}
+            for k, accs in p:
+                entry = merged.get(k)
+                if entry is None:
+                    merged[k] = list(accs)
+                else:
+                    for j, a in enumerate(algebras):
+                        entry[j] = a.union(entry[j], accs[j])
+            out.append(
+                [AggResult(k, tuple(v)) for k, v in merged.items()]
+            )
+            self._charge_cpu(i, len(p) * len(algebras) + len(merged))
+        return PartitionedBag(out, _grp_partitioner(partial_bag, "key"))
+
+    def _exec_distinct(self, comb: CDistinct) -> PartitionedBag:
+        source = self._exec(comb.input)
+        shuffled = self.shuffle_by_key(source, ScalarFn.identity("_d"))
+        out: list[list[Any]] = []
+        for i, p in enumerate(shuffled.partitions):
+            seen: set[Any] = set()
+            rows: list[Any] = []
+            for x in p:
+                if x not in seen:
+                    seen.add(x)
+                    rows.append(x)
+            out.append(rows)
+            self._charge_cpu(i, len(p))
+        return PartitionedBag(out, shuffled.partitioner)
+
+    def _exec_union(self, comb: CUnion) -> PartitionedBag:
+        left = self._exec(comb.left)
+        right = self._exec(comb.right)
+        n = max(left.num_partitions, right.num_partitions)
+        out = [
+            (left.partitions[i] if i < left.num_partitions else [])
+            + (right.partitions[i] if i < right.num_partitions else [])
+            for i in range(n)
+        ]
+        return PartitionedBag(out)
+
+    def _exec_minus(self, comb: CMinus) -> PartitionedBag:
+        left = self._exec(comb.left)
+        right = self._exec(comb.right)
+        identity = ScalarFn.identity("_m")
+        left = self.shuffle_by_key(left, identity)
+        right = self.shuffle_by_key(right, identity)
+        out: list[list[Any]] = []
+        for i, (lp, rp) in enumerate(
+            zip(left.partitions, right.partitions)
+        ):
+            remaining = Counter(rp)
+            rows: list[Any] = []
+            for x in lp:
+                if remaining[x] > 0:
+                    remaining[x] -= 1
+                else:
+                    rows.append(x)
+            out.append(rows)
+            self._charge_cpu(i, len(lp) + len(rp))
+        return PartitionedBag(out, left.partitioner)
+
+    # -- folds --------------------------------------------------------------------------
+
+    def _exec_fold(self, comb: CFold) -> Any:
+        source = self._exec(comb.input)
+        bindings, extra = self._udf_bindings(comb.spec.free_vars())
+        algebra = comb.spec.make_algebra(Env.of(bindings))
+        partial_values: list[Any] = []
+        for i, p in enumerate(source.partitions):
+            partial_values.append(algebra(p))
+            self._charge_cpu(i, len(p) * (1 + extra))
+        nbytes = sum(
+            estimate_record_bytes(v) for v in partial_values
+        )
+        self.job.charge_driver(self.engine.cost.driver_seconds(nbytes))
+        self.engine.metrics.driver_collect_bytes += nbytes
+        self.job.charge_driver(
+            self.engine.cost.cpu_seconds(len(partial_values))
+        )
+        return algebra.merge(partial_values)
+
+    # -- dispatch table -------------------------------------------------------------------
+
+    _HANDLERS: dict[type, Callable] = {}
+
+
+def _index0():
+    from repro.comprehension.exprs import Const, Index, Ref
+
+    return Index(Ref("_p"), Const(0))
+
+
+def _grp_partitioner(
+    shuffled: PartitionedBag, attr: str
+) -> Partitioner | None:
+    """Partitioner for keyed outputs (Grp/AggResult records by ``attr``).
+
+    The data was just hash-partitioned on the grouping key, so the
+    keyed output records are hash-partitioned on their ``.key``
+    attribute — record that so downstream consumers can skip a shuffle.
+    """
+    if shuffled.partitioner is None:
+        return None
+    return Partitioner(
+        _attr_key("_g", attr), shuffled.num_partitions
+    )
+
+
+JobExecutor._HANDLERS = {
+    CSource: JobExecutor._exec_source,
+    CParallelize: JobExecutor._exec_parallelize,
+    CBagRef: JobExecutor._exec_bag_ref,
+    CMap: JobExecutor._exec_map,
+    CFlatMap: JobExecutor._exec_flat_map,
+    CFilter: JobExecutor._exec_filter,
+    CEqJoin: JobExecutor._exec_eq_join,
+    CSemiJoin: JobExecutor._exec_semi_join,
+    CCross: JobExecutor._exec_cross,
+    CGroupBy: JobExecutor._exec_group_by,
+    CAggBy: JobExecutor._exec_agg_by,
+    CDistinct: JobExecutor._exec_distinct,
+    CUnion: JobExecutor._exec_union,
+    CMinus: JobExecutor._exec_minus,
+}

@@ -1,0 +1,31 @@
+"""The local engine — direct host-language execution.
+
+This is the paper's rapid-prototyping mode: DataBag programs run as
+plain Python with no parallel runtime, no partitions, and no cost
+accounting.  The driver interpreter detects ``LocalEngine.direct`` and
+evaluates the lifted IR directly via
+:func:`repro.comprehension.exprs.evaluate` — a genuinely different code
+path from the parallel engines, which makes it the differential-testing
+oracle: every workload must produce identical results on the local,
+Spark-like, and Flink-like backends.
+"""
+
+from __future__ import annotations
+
+from repro.engines.base import Engine
+from repro.engines.cluster import ClusterConfig
+from repro.engines.costmodel import CostModel
+
+
+class LocalEngine(Engine):
+    """Direct evaluation, no simulation (see module docstring)."""
+
+    name = "local"
+    #: signals the driver interpreter to bypass lowering entirely
+    direct = True
+
+    def __init__(self) -> None:
+        super().__init__(
+            cluster=ClusterConfig(num_workers=1),
+            cost=CostModel(job_overhead=0.0, stage_overhead=0.0),
+        )

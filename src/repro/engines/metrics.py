@@ -1,0 +1,129 @@
+"""Execution metrics for simulated engines.
+
+A :class:`Metrics` object accumulates, over a whole driver-program run:
+
+* ``simulated_seconds`` — the modelled wall-clock time.  Each submitted
+  dataflow job contributes ``max`` over the workers of their busy time
+  (compute + I/O + network), plus fixed job/stage overheads; jobs are
+  serial from the driver's perspective, so job times add up.
+* byte counters — shuffled, broadcast, DFS read/written, driver
+  collected/shipped;
+* element operation counters per operator family.
+
+Per-job accounting goes through :class:`JobRun`: operators charge
+per-worker busy seconds into the job; ``finish()`` folds the job into
+the engine metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Metrics:
+    """Aggregate counters for one engine over one program run."""
+
+    simulated_seconds: float = 0.0
+    jobs_submitted: int = 0
+    stages_run: int = 0
+
+    shuffle_bytes: int = 0
+    broadcast_bytes: int = 0
+    dfs_read_bytes: int = 0
+    dfs_write_bytes: int = 0
+    driver_collect_bytes: int = 0
+    driver_ship_bytes: int = 0
+    cache_write_bytes: int = 0
+    cache_read_bytes: int = 0
+
+    element_ops: int = 0
+    udf_invocations: int = 0
+    records_shuffled: int = 0
+    records_broadcast: int = 0
+
+    #: physical join strategy decisions (the paper's JIT choice between
+    #: a broadcast and a repartition realization, Section 4.2.1)
+    broadcast_joins: int = 0
+    repartition_joins: int = 0
+
+    #: peak bytes materialized on any single worker (group building etc.)
+    peak_worker_bytes: int = 0
+
+    def snapshot(self) -> "Metrics":
+        """A copy of the current counters (for before/after deltas)."""
+        return Metrics(**vars(self))
+
+    def delta_since(self, earlier: "Metrics") -> "Metrics":
+        """Counter-wise difference ``self - earlier``."""
+        out = Metrics()
+        for name, value in vars(self).items():
+            setattr(out, name, value - getattr(earlier, name))
+        # Peaks do not subtract meaningfully; report the later peak.
+        out.peak_worker_bytes = self.peak_worker_bytes
+        return out
+
+    def summary(self) -> str:
+        """A compact human-readable summary line."""
+        return (
+            f"t={self.simulated_seconds:.3f}s jobs={self.jobs_submitted} "
+            f"shuffle={_fmt_bytes(self.shuffle_bytes)} "
+            f"bcast={_fmt_bytes(self.broadcast_bytes)} "
+            f"dfs_r={_fmt_bytes(self.dfs_read_bytes)} "
+            f"dfs_w={_fmt_bytes(self.dfs_write_bytes)} "
+            f"ops={self.element_ops}"
+        )
+
+
+def _fmt_bytes(n: int) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(n) < 1024 or unit == "GB":
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024  # type: ignore[assignment]
+    return f"{n}B"
+
+
+class JobRun:
+    """Per-worker busy-time accounting for a single dataflow job."""
+
+    def __init__(self, num_workers: int, metrics: Metrics) -> None:
+        self.num_workers = num_workers
+        self.metrics = metrics
+        self.worker_seconds = [0.0] * num_workers
+        self.driver_seconds = 0.0
+        self.stages = 0
+
+    def charge_worker(self, worker: int, seconds: float) -> None:
+        """Add busy time to one worker (index wraps)."""
+        self.worker_seconds[worker % self.num_workers] += seconds
+
+    def charge_all_workers(self, seconds_each: float) -> None:
+        """Add the same busy time to every worker (e.g. a broadcast)."""
+        for w in range(self.num_workers):
+            self.worker_seconds[w] += seconds_each
+
+    def charge_spread(self, total_seconds: float) -> None:
+        """Charge work that parallelizes perfectly across workers."""
+        self.charge_all_workers(total_seconds / self.num_workers)
+
+    def charge_driver(self, seconds: float) -> None:
+        """Add serial driver-side time to the job."""
+        self.driver_seconds += seconds
+
+    def add_stage(self) -> None:
+        """Record a stage boundary (shuffle/broadcast) for overheads."""
+        self.stages += 1
+
+    def finish(self, fixed_overhead: float, stage_overhead: float) -> float:
+        """Fold this job into the metrics; return the job's time."""
+        busy = max(self.worker_seconds) if self.worker_seconds else 0.0
+        job_time = (
+            fixed_overhead
+            + self.stages * stage_overhead
+            + busy
+            + self.driver_seconds
+        )
+        self.metrics.simulated_seconds += job_time
+        self.metrics.jobs_submitted += 1
+        self.metrics.stages_run += self.stages
+        return job_time

@@ -1,0 +1,218 @@
+"""Distributed keyed state — the engine-side StatefulBag (paper §3.1).
+
+A :class:`DistributedStatefulBag` keeps one element per key,
+hash-partitioned across the simulated workers (partitioned *by key*, so
+downstream joins/groupings on the key reuse the partitioning — the
+reason PageRank benefits more from caching than k-means in Section 5.2:
+"PageRank stores the vertices and their ranks already partitioned by
+the vertex ID in-memory in a form that is ready to be consumed by the
+next iteration").
+
+It mirrors the :class:`repro.core.stateful.StatefulBag` API so the
+driver IR nodes (``StatefulUpdate`` etc.) work polymorphically over the
+local and distributed implementations:
+
+* ``bag()`` — a zero-copy snapshot as a partitioned bag;
+* ``update(u)`` — per-partition point-wise update, returns the delta;
+* ``update_with_messages(messages, u)`` — messages are shuffled to the
+  state partitions by key and applied; returns the delta.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.comprehension.exprs import Attr, Ref
+from repro.core.databag import DataBag
+from repro.core.stateful import _default_key
+from repro.engines.cluster import (
+    PartitionedBag,
+    Partitioner,
+    hash_partition_index,
+)
+from repro.errors import EmmaError
+from repro.lowering.combinators import ScalarFn
+
+
+def _key_scalar_fn(sample: Any) -> ScalarFn:
+    """The key-access IR for partitioner bookkeeping, by sampling."""
+    for attr in ("key", "id"):
+        if hasattr(sample, attr):
+            return ScalarFn(("_s",), Attr(Ref("_s"), attr))
+    raise EmmaError(
+        "stateful elements need a 'key' or 'id' attribute"
+    )
+
+
+class DistributedStatefulBag:
+    """Keyed state partitioned across simulated workers."""
+
+    def __init__(
+        self,
+        engine: Any,
+        records: list[Any],
+        key: Callable[[Any], Any] | None = None,
+    ) -> None:
+        self.engine = engine
+        self._key = key or _default_key
+        parallelism = engine.cluster.parallelism
+        self._partitions: list[dict[Any, Any]] = [
+            {} for _ in range(parallelism)
+        ]
+        self._key_ir = _key_scalar_fn(records[0]) if records else None
+        for record in records:
+            k = self._key(record)
+            idx = hash_partition_index(k, parallelism)
+            if k in self._partitions[idx]:
+                raise EmmaError(
+                    f"duplicate key {k!r} while constructing stateful bag"
+                )
+            self._partitions[idx][k] = record
+
+    # -- snapshot -----------------------------------------------------------
+
+    def bag(self) -> PartitionedBag:
+        """Snapshot as a partitioned bag (keeps the key partitioning)."""
+        partitioner = (
+            Partitioner(self._key_ir, len(self._partitions))
+            if self._key_ir is not None
+            else None
+        )
+        return PartitionedBag(
+            [list(p.values()) for p in self._partitions], partitioner
+        )
+
+    def count(self) -> int:
+        """Number of keyed elements currently held."""
+        return sum(len(p) for p in self._partitions)
+
+    def __len__(self) -> int:
+        return self.count()
+
+    # -- updates ---------------------------------------------------------------
+
+    def update(self, u: Callable[[Any], Optional[Any]]) -> Any:
+        """Point-wise update over all elements; returns the delta."""
+        job = self.engine._new_job()
+        delta_parts: list[list[Any]] = []
+        for i, partition in enumerate(self._partitions):
+            delta: list[Any] = []
+            for k, element in list(partition.items()):
+                new = u(element)
+                if new is None:
+                    continue
+                self._require_same_key(k, new)
+                partition[k] = new
+                delta.append(new)
+            delta_parts.append(delta)
+            job.charge_worker(
+                i % self.engine.cluster.num_workers,
+                self.engine.cost.cpu_seconds(len(partition)),
+            )
+        self.engine._finish_job(job)
+        return self._delta_handle(delta_parts)
+
+    def update_with_messages(
+        self,
+        messages: Any,
+        u: Callable[[Any, Any], Optional[Any]],
+        message_key: Callable[[Any], Any] | None = None,
+    ) -> Any:
+        """Apply keyed messages to the state; returns the delta.
+
+        ``messages`` may be a DeferredBag/BagHandle/DataBag/local list —
+        it is executed/collected as needed and shuffled to the state
+        partitions by key.
+        """
+        mkey = message_key or _default_key
+        message_bag = self._materialize_messages(messages)
+        job = self.engine._new_job()
+        parallelism = len(self._partitions)
+        # Shuffle messages to the state partitions (by state key).
+        routed: list[list[Any]] = [[] for _ in range(parallelism)]
+        for partition in message_bag.partitions:
+            for m in partition:
+                routed[hash_partition_index(mkey(m), parallelism)].append(m)
+        from repro.engines.sizes import estimate_bag_bytes
+
+        aligned = (
+            message_bag.partitioner is not None
+            and self._key_ir is not None
+            and message_bag.partitioner.matches(
+                self._key_ir, parallelism
+            )
+        )
+        if not aligned:
+            moved = estimate_bag_bytes(message_bag.collect())
+            job.charge_spread(self.engine.cost.network_seconds(moved))
+            self.engine.metrics.shuffle_bytes += moved
+            job.add_stage()
+        delta_parts: list[list[Any]] = []
+        for i, (partition, msgs) in enumerate(
+            zip(self._partitions, routed)
+        ):
+            changed: dict[Any, Any] = {}
+            for m in msgs:
+                k = mkey(m)
+                current = partition.get(k)
+                if current is None:
+                    continue
+                new = u(current, m)
+                if new is None:
+                    continue
+                self._require_same_key(k, new)
+                partition[k] = new
+                changed[k] = new
+            delta_parts.append(list(changed.values()))
+            job.charge_worker(
+                i % self.engine.cluster.num_workers,
+                self.engine.cost.cpu_seconds(len(msgs)),
+            )
+        self.engine._finish_job(job)
+        return self._delta_handle(delta_parts)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _materialize_messages(self, messages: Any) -> PartitionedBag:
+        from repro.engines.base import BagHandle, DeferredBag
+        from repro.engines.executor import JobExecutor
+
+        if isinstance(messages, PartitionedBag):
+            return messages
+        if isinstance(messages, DeferredBag):
+            job = self.engine._new_job()
+            bag = JobExecutor(self.engine, messages.env, job).run_bag(
+                messages.root
+            )
+            self.engine._finish_job(job)
+            return bag
+        if isinstance(messages, BagHandle):
+            return messages.bag
+        if isinstance(messages, DataBag):
+            return PartitionedBag.from_records(
+                messages.fetch(), len(self._partitions)
+            )
+        if isinstance(messages, (list, tuple)):
+            return PartitionedBag.from_records(
+                list(messages), len(self._partitions)
+            )
+        raise EmmaError(
+            f"cannot use {type(messages).__name__} as update messages"
+        )
+
+    def _delta_handle(self, delta_parts: list[list[Any]]) -> Any:
+        from repro.engines.base import BagHandle
+
+        partitioner = (
+            Partitioner(self._key_ir, len(self._partitions))
+            if self._key_ir is not None
+            else None
+        )
+        bag = PartitionedBag(delta_parts, partitioner)
+        return BagHandle(self.engine, bag, "memory")
+
+    def _require_same_key(self, old_key: Any, new_element: Any) -> None:
+        if self._key(new_element) != old_key:
+            raise EmmaError(
+                "point-wise updates must preserve element keys"
+            )

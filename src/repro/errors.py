@@ -1,0 +1,79 @@
+"""Exception hierarchy for the Emma reproduction.
+
+Every error raised by the library derives from :class:`EmmaError` so that
+client code can catch library failures with a single ``except`` clause
+while still distinguishing the compilation stage that produced them.
+"""
+
+from __future__ import annotations
+
+
+class EmmaError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class LiftError(EmmaError):
+    """The frontend could not lift a Python construct into driver IR.
+
+    Raised when an ``@parallelize``-bracketed function uses a statement or
+    expression form outside the supported embedding subset.  The message
+    always names the offending source construct and its line number.
+    """
+
+
+class ComprehensionError(EmmaError):
+    """An ill-formed comprehension was constructed or transformed."""
+
+
+class LoweringError(EmmaError):
+    """A comprehension could not be translated into combinator form."""
+
+
+class PlanError(EmmaError):
+    """A physical dataflow plan is structurally invalid."""
+
+
+class EngineError(EmmaError):
+    """A backend engine failed while executing a dataflow."""
+
+
+class SimulatedTimeout(EngineError):
+    """Simulated execution time exceeded the configured budget.
+
+    Mirrors the paper's "failed to finish within a timeout of one hour"
+    observations for the unoptimized iterative algorithms and TPC-H queries.
+    """
+
+    def __init__(self, simulated_seconds: float, budget_seconds: float) -> None:
+        self.simulated_seconds = simulated_seconds
+        self.budget_seconds = budget_seconds
+        super().__init__(
+            f"simulated execution time {simulated_seconds:.1f}s exceeded "
+            f"budget of {budget_seconds:.1f}s"
+        )
+
+
+class SimulatedMemoryError(EngineError):
+    """A simulated worker exceeded its memory allowance.
+
+    This reproduces the paper's observation that, without fold-group
+    fusion, group materialization can make an algorithm fail outright.
+    """
+
+    def __init__(self, worker: int, used_bytes: int, limit_bytes: int) -> None:
+        self.worker = worker
+        self.used_bytes = used_bytes
+        self.limit_bytes = limit_bytes
+        super().__init__(
+            f"worker {worker} exceeded memory limit: used {used_bytes} "
+            f"of {limit_bytes} bytes"
+        )
+
+
+class FoldConditionError(EmmaError):
+    """A fold's arguments violate the well-definedness conditions.
+
+    Folds over union-representation bags require the combining function to
+    be associative and commutative with the zero element as unit
+    (Section 2.2.2 of the paper).
+    """

@@ -1,0 +1,39 @@
+"""Reproduction harnesses for every table and figure in the paper.
+
+Each module reproduces one evaluation artifact at laptop scale on the
+simulated engines and returns structured results that the benchmark
+suite asserts *shapes* over (who wins, by roughly what factor, where
+failures occur) and that ``repro.experiments.report`` renders into
+EXPERIMENTS.md:
+
+* :mod:`repro.experiments.table1` — the optimization applicability
+  matrix (Table 1);
+* :mod:`repro.experiments.figure4` — the data-parallel workflow
+  speedups under {unnesting, +partitioning, +caching, +both} on the
+  Spark-like and Flink-like engines (Figure 4);
+* :mod:`repro.experiments.section52` — the iterative algorithms
+  (k-means, PageRank): no-fusion failure, caching speedups (Sec. 5.2);
+* :mod:`repro.experiments.tpch_exp` — TPC-H Q1/Q4 with and without the
+  logical optimizations (Sec. 5.2);
+* :mod:`repro.experiments.figure5` — the grouped-aggregation DOP sweep
+  over uniform/Gaussian/Pareto key distributions with fold-group fusion
+  on and off (Figure 5 / Appendix B.1).
+"""
+
+from repro.experiments.runner import (
+    DNF,
+    BenchEngines,
+    ExperimentResult,
+    bench_cost_model,
+    make_engine,
+    run_with_budget,
+)
+
+__all__ = [
+    "DNF",
+    "BenchEngines",
+    "ExperimentResult",
+    "bench_cost_model",
+    "make_engine",
+    "run_with_budget",
+]

@@ -1,0 +1,264 @@
+"""Regenerate EXPERIMENTS.md from fresh runs of every experiment.
+
+Usage:  python -m repro.experiments.report [output-path]
+
+Runs Table 1, Figure 4, Section 5.2 (iterative + TPC-H), and Figure 5
+end to end on the simulated engines and renders a paper-vs-measured
+record for each artifact.  Everything is deterministic, so the file is
+reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.runner import DNF
+from repro.experiments.section52 import (
+    PAPER_CACHING_SPEEDUP,
+    run_section52,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.tpch_exp import run_tpch
+
+_HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+Every table and figure of *Implicit Parallelism through Deep Language
+Embedding* (SIGMOD 2015), regenerated on this library's simulated
+engines.  Absolute numbers are **simulated seconds** from the cost
+model described in DESIGN.md — the authors ran a 40-node cluster on
+real data; we run a deterministic simulator on laptop-scale synthetic
+data with the same *relative* proportions.  The reproduction target is
+therefore the **shape** of each result: who wins, by roughly what
+factor, and which configurations fail outright.  `DNF` marks a run that
+exceeded the simulated-time budget or a worker's memory allowance (the
+paper's "did not finish within one hour" / "memory issues").
+
+Regenerate this file with `python -m repro.experiments.report`; the
+benchmark suite (`pytest benchmarks/ --benchmark-only`) asserts the
+same shapes on every run.
+"""
+
+
+def _fmt(seconds) -> str:
+    return "DNF" if seconds is DNF else f"{seconds:.3f}s"
+
+
+def build_report() -> str:
+    """Run every experiment and render the full markdown report."""
+    sections = [_HEADER]
+
+    # ----- Table 1 ------------------------------------------------------
+    t1 = run_table1()
+    lines = [
+        "## Table 1 — optimization applicability",
+        "",
+        "The compiler's own optimization reports, cell for cell against"
+        " the paper (X = applies):",
+        "",
+        "| program | unnesting | fold-group fusion | caching |"
+        " partition pulling | matches paper |",
+        "|---|---|---|---|---|---|",
+    ]
+    for program, row in t1.rows.items():
+        from repro.experiments.table1 import PAPER_TABLE_1
+
+        cells = " | ".join(
+            "X" if row[c] else "–"
+            for c in (
+                "unnesting",
+                "fold_group_fusion",
+                "caching",
+                "partition_pulling",
+            )
+        )
+        ok = "yes" if row == PAPER_TABLE_1[program] else "**NO**"
+        lines.append(f"| {program} | {cells} | {ok} |")
+    lines.append("")
+    lines.append(
+        "Result: **5/5 rows match the paper exactly.**"
+        if t1.matches_paper()
+        else "Result: MISMATCH — see rows above."
+    )
+    sections.append("\n".join(lines))
+
+    # ----- Figure 4 -----------------------------------------------------
+    f4 = run_figure4()
+    lines = [
+        "## Figure 4 — optimization effects on the data-parallel"
+        " workflow",
+        "",
+        "Speedup of each configuration relative to the unoptimized"
+        " baseline (broadcast blacklist, no caching):",
+        "",
+        "| engine | configuration | measured | paper |",
+        "|---|---|---|---|",
+    ]
+    for engine, label, factor, paper in f4.rows():
+        paper_s = f"{paper:.2f}x" if paper else "–"
+        lines.append(
+            f"| {engine} | {label} | {factor:.2f}x | {paper_s} |"
+        )
+    lines += [
+        "",
+        "Shapes reproduced: every optimized configuration beats the"
+        " baseline; partitioning alone adds nothing (lazy re-evaluation"
+        " re-partitions anyway); caching gives the big second jump;"
+        " partitioning+caching adds a further gain on top of caching;"
+        " and the Flink-like engine's speedups dwarf the Spark-like"
+        " engine's because its baseline suffers far more from broadcast"
+        " handling — the paper's stated explanation for 6.56x vs 1.5x.",
+        "",
+        "Known divergence: the paper's Flink caching gains (12.07x,"
+        " 18.16x) exceed ours — our simulated Flink pays DFS I/O on"
+        " every cached read, which caps how much caching can help it.",
+    ]
+    sections.append("\n".join(lines))
+
+    # ----- Section 5.2 iterative -----------------------------------------
+    s52 = run_section52()
+    lines = [
+        "## Section 5.2 — iterative algorithms (k-means, PageRank)",
+        "",
+        "| engine | algorithm | configuration | simulated |",
+        "|---|---|---|---|",
+    ]
+    for (engine, algo, label), run in sorted(s52.runs.items()):
+        lines.append(
+            f"| {engine} | {algo} | {label} | {_fmt(run.seconds)} |"
+        )
+    lines += [
+        "",
+        "Caching speedups (fusion vs fusion+caching):",
+        "",
+        "| engine | algorithm | measured | paper |",
+        "|---|---|---|---|",
+    ]
+    for engine in ("spark", "flink"):
+        for algo in ("kmeans", "pagerank"):
+            measured = s52.caching_speedup(engine, algo)
+            paper = PAPER_CACHING_SPEEDUP[(engine, algo)]
+            lines.append(
+                f"| {engine} | {algo} | {measured:.2f}x |"
+                f" ~{paper:.2f}x |"
+            )
+    lines += [
+        "",
+        "Shapes reproduced: without fold-group fusion *nothing*"
+        " finishes — the Spark-like engine dies materializing the"
+        " skewed groups in memory, the Flink-like engine exceeds the"
+        " budget sorting and spilling them (the paper's 1-hour"
+        " timeout).  With fusion, caching helps the Spark-like engine"
+        " (k-means lands at the paper's ~1.5x) and is a wash on the"
+        " Flink-like engine (DFS-backed cache).",
+        "",
+        "Known divergence: the paper's Spark PageRank caching gain"
+        " (3.13x) exceeds ours (~1.3x).  The authors' cached vertices"
+        " stayed co-partitioned with the in-memory rank state, so"
+        " caching also eliminated the per-iteration join shuffle; our"
+        " simulated join re-shuffles the cached-but-unpartitioned"
+        " vertex side every iteration (partition pulling is off for"
+        " PageRank, per Table 1), so only the read is saved.",
+    ]
+    sections.append("\n".join(lines))
+
+    # ----- Section 5.2 TPC-H ---------------------------------------------
+    tq = run_tpch()
+    lines = [
+        "## Section 5.2 — TPC-H Q1 and Q4",
+        "",
+        "| engine | query | configuration | simulated | paper |",
+        "|---|---|---|---|---|",
+    ]
+    from repro.experiments.tpch_exp import PAPER_SECONDS
+
+    for (engine, query, label), run in sorted(tq.runs.items()):
+        paper = (
+            f"{PAPER_SECONDS[(engine, query)]:.0f}s"
+            if label == "optimized"
+            else "DNF (>1h)"
+        )
+        lines.append(
+            f"| {engine} | {query} | {label} |"
+            f" {_fmt(run.seconds)} | {paper} |"
+        )
+    lines += [
+        "",
+        "Shapes reproduced exactly: both queries fail on both engines"
+        " without the logical optimizations (group materialization for"
+        " Q1, the broadcast-EXISTS for Q4) and finish with them; the"
+        " optimized engine ordering also matches (Flink under Spark"
+        " for Q1, close for Q4 — paper: 240s vs 466s and 569s vs"
+        " 577s).",
+    ]
+    sections.append("\n".join(lines))
+
+    # ----- Figure 5 -------------------------------------------------------
+    f5 = run_figure5()
+    lines = [
+        "## Figure 5 — fold-group fusion and scalability",
+        "",
+        "Grouped `min` aggregation under weak scaling (constant data"
+        " per execution unit), three key distributions, fusion on/off:",
+        "",
+    ]
+    for distribution in ("uniform", "gaussian", "pareto"):
+        lines.append(f"### {distribution}")
+        lines.append("")
+        header = (
+            "| series | "
+            + " | ".join(f"DOP {d}" for d in f5.scale.dops)
+            + " |"
+        )
+        lines.append(header)
+        lines.append("|---|" + "---|" * len(f5.scale.dops))
+        for engine in ("spark", "flink"):
+            for fused in (True, False):
+                label = f"{engine} {'GF' if fused else 'no GF'}"
+                cells = " | ".join(
+                    _fmt(sec)
+                    for _d, sec in f5.series(
+                        engine, distribution, fused
+                    )
+                )
+                lines.append(f"| {label} | {cells} |")
+        lines.append("")
+    lines += [
+        "Shapes reproduced: fusion is never slower and always"
+        " finishes; under the Pareto skew (~35% of tuples on one key)"
+        " the Spark-like engine fails at *every* DOP without fusion —"
+        " exactly the paper's observation — while the Flink-like"
+        " engine's sort-based grouping survives but degrades linearly"
+        " with the (weak-scaled) total data volume; with fusion the"
+        " Flink-like engine stays near-flat while the Spark-like"
+        " engine's runtime grows with the DOP (its centralized"
+        " per-task scheduling — the paper's superlinear trend).",
+    ]
+    sections.append("\n".join(lines))
+
+    sections.append(
+        "## Reading the numbers\n\n"
+        "Simulated seconds come from the calibrated cost model in"
+        " `repro/experiments/runner.py` (bandwidths, CPU throughput,"
+        " per-job/stage/task overheads) plus per-experiment overrides"
+        " documented in each harness module.  The engines execute the"
+        " real tuples — counts, bytes, skew, and partition layouts are"
+        " measured, not assumed; only the *conversion to seconds* is"
+        " modelled.  All runs are deterministic (stable hashing, fixed"
+        " seeds)."
+    )
+    return "\n\n".join(sections) + "\n"
+
+
+def main() -> None:
+    """CLI entry point: write the report to the given path."""
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("EXPERIMENTS.md")
+    out.write_text(build_report())
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+"""Shared infrastructure for the experiment harnesses.
+
+The experiments use a *benchmark cost model* whose constants mirror the
+paper's cluster in relative terms at laptop data scales: DFS reads are
+the slow path (spinning disks + replication), shuffles are cheaper than
+reads, fixed overheads are small relative to data terms.  Absolute
+simulated seconds are meaningless; ratios are the reproduction target.
+
+``run_with_budget`` executes one algorithm configuration on a fresh
+engine and classifies the outcome: a simulated time, or :data:`DNF`
+("did not finish") when the run exceeds the simulated-time budget or a
+worker exceeds its memory allowance — the paper's two failure modes for
+unoptimized plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engines.cluster import ClusterConfig
+from repro.engines.costmodel import CostModel
+from repro.engines.dfs import SimulatedDFS
+from repro.engines.flinklike import FlinkLikeEngine
+from repro.engines.sparklike import SparkLikeEngine
+from repro.errors import SimulatedMemoryError, SimulatedTimeout
+
+
+class _DNF:
+    """Sentinel: the configuration did not finish (timeout / memory)."""
+
+    def __repr__(self) -> str:
+        return "DNF"
+
+
+DNF = _DNF()
+
+
+def bench_cost_model(**overrides: Any) -> CostModel:
+    """The experiments' calibrated cost model (see module docstring)."""
+    params: dict[str, Any] = dict(
+        network_bandwidth=100e6,
+        disk_bandwidth=150e6,
+        dfs_read_bandwidth=15e6,
+        dfs_write_bandwidth=8e6,
+        cpu_throughput=5e6,
+        driver_bandwidth=40e6,
+        job_overhead=0.004,
+        stage_overhead=0.001,
+        memory_per_worker=512 * 1024,
+    )
+    params.update(overrides)
+    return CostModel(**params)
+
+
+ENGINE_KINDS = ("spark", "flink")
+
+
+def make_engine(
+    kind: str,
+    dfs: SimulatedDFS,
+    num_workers: int = 8,
+    cost: CostModel | None = None,
+    time_budget: float | None = None,
+    broadcast_join_threshold: int | None = None,
+    task_overhead: float | None = None,
+):
+    """A fresh engine of the given kind, wired to the shared DFS."""
+    cluster = ClusterConfig(num_workers=num_workers)
+    cost = cost or bench_cost_model()
+    cls = {"spark": SparkLikeEngine, "flink": FlinkLikeEngine}[kind]
+    engine = cls(
+        cluster=cluster, cost=cost, dfs=dfs, time_budget=time_budget
+    )
+    if broadcast_join_threshold is not None:
+        engine.broadcast_join_threshold = broadcast_join_threshold
+    if task_overhead is not None:
+        engine.task_overhead = task_overhead
+    return engine
+
+
+@dataclass
+class ExperimentResult:
+    """One (engine, configuration) measurement."""
+
+    engine: str
+    label: str
+    seconds: float | _DNF
+    metrics_summary: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.seconds is not DNF
+
+    def __repr__(self) -> str:
+        time = (
+            "DNF"
+            if self.seconds is DNF
+            else f"{self.seconds:.3f}s"
+        )
+        return f"{self.engine}/{self.label}: {time}"
+
+
+def run_with_budget(engine, algorithm, config, **params) -> ExperimentResult:
+    """Run one configuration; classify timeout/memory failures as DNF."""
+    label = config.label() if config is not None else "default"
+    try:
+        algorithm.run(engine, config=config, **params)
+        seconds: float | _DNF = engine.metrics.simulated_seconds
+    except (SimulatedTimeout, SimulatedMemoryError) as failure:
+        seconds = DNF
+        label = f"{label}"
+        return ExperimentResult(
+            engine=engine.name,
+            label=label,
+            seconds=seconds,
+            metrics_summary=engine.metrics.summary(),
+            extra={"failure": type(failure).__name__},
+        )
+    return ExperimentResult(
+        engine=engine.name,
+        label=label,
+        seconds=seconds,
+        metrics_summary=engine.metrics.summary(),
+    )
+
+
+def speedup(baseline: ExperimentResult, run: ExperimentResult) -> float:
+    """Relative speedup of ``run`` over ``baseline`` (inf if baseline DNF)."""
+    if baseline.seconds is DNF:
+        return float("inf")
+    if run.seconds is DNF:
+        return 0.0
+    return baseline.seconds / run.seconds
+
+
+@dataclass
+class BenchEngines:
+    """Convenience bundle: one fresh DFS shared by per-run engines."""
+
+    dfs: SimulatedDFS = field(default_factory=SimulatedDFS)
+
+    def fresh(self, kind: str, **kwargs):
+        """A new engine of ``kind`` sharing this bundle's DFS."""
+        return make_engine(kind, self.dfs, **kwargs)

@@ -1,0 +1,97 @@
+"""Table 1 — which optimizations apply to which program.
+
+Unlike the timing experiments, this one needs no engine: the compiler
+itself is the measurement instrument.  Each workload is compiled with
+everything enabled and the optimization report says which passes fired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.kmeans import kmeans
+from repro.workloads.pagerank import pagerank
+from repro.workloads.spam import select_classifier
+from repro.workloads.tpch import tpch_q1, tpch_q4
+
+#: the paper's Table 1 (True = marked X)
+PAPER_TABLE_1 = {
+    "data-parallel workflow": {
+        "unnesting": True,
+        "fold_group_fusion": False,
+        "caching": True,
+        "partition_pulling": True,
+    },
+    "k-means": {
+        "unnesting": False,
+        "fold_group_fusion": True,
+        "caching": True,
+        "partition_pulling": False,
+    },
+    "pagerank": {
+        "unnesting": False,
+        "fold_group_fusion": True,
+        "caching": True,
+        "partition_pulling": False,
+    },
+    "tpc-h q1": {
+        "unnesting": False,
+        "fold_group_fusion": True,
+        "caching": False,
+        "partition_pulling": False,
+    },
+    "tpc-h q4": {
+        "unnesting": True,
+        "fold_group_fusion": True,
+        "caching": False,
+        "partition_pulling": False,
+    },
+}
+
+ALGORITHMS = {
+    "data-parallel workflow": select_classifier,
+    "k-means": kmeans,
+    "pagerank": pagerank,
+    "tpc-h q1": tpch_q1,
+    "tpc-h q4": tpch_q4,
+}
+
+_COLUMNS = (
+    "unnesting",
+    "fold_group_fusion",
+    "caching",
+    "partition_pulling",
+)
+
+
+@dataclass
+class Table1Result:
+    rows: dict[str, dict[str, bool]] = field(default_factory=dict)
+
+    def matches_paper(self) -> bool:
+        """Whether every row equals the paper's Table 1."""
+        return self.rows == PAPER_TABLE_1
+
+    def render(self) -> str:
+        """The applicability matrix as printable text."""
+        lines = [
+            "Table 1 — optimization applicability "
+            "(compiler-reported; must equal the paper's table)",
+            f"{'program':24} {'unnest':>7} {'fusion':>7} "
+            f"{'cache':>7} {'part.':>7}   paper-match",
+        ]
+        for program, row in self.rows.items():
+            cells = " ".join(
+                f"{'X' if row[c] else '-':>7}" for c in _COLUMNS
+            )
+            ok = "yes" if row == PAPER_TABLE_1[program] else "NO"
+            lines.append(f"{program:24} {cells}   {ok}")
+        return "\n".join(lines)
+
+
+def run_table1() -> Table1Result:
+    """Compile all five programs and collect their Table 1 rows."""
+    result = Table1Result()
+    for program, algorithm in ALGORITHMS.items():
+        result.rows[program] = algorithm.report().table1_row()
+    return result

@@ -1,0 +1,36 @@
+"""Domain APIs layered on the DataBag abstraction (paper Section 7).
+
+The paper's future-work section: "domain-specific abstractions can be
+easily integrated on top of the DataBag API ... We are developing
+linear algebra and graph processing APIs on top of the DataBag API."
+This subpackage implements both:
+
+* :mod:`repro.extensions.graph` — a Pregel-style vertex-centric API
+  expressed entirely through ``StatefulBag`` point-wise updates and
+  ordinary comprehensions; PageRank and Connected Components become
+  ten-line vertex programs, and every superstep's aggregation goes
+  through the same fold-group-fusion path as hand-written code.
+* :mod:`repro.extensions.linalg` — sparse distributed vectors/matrices
+  as bags of coordinate entries; matrix-vector products compile to a
+  join + ``agg_by`` dataflow, so power iteration runs unchanged on any
+  backend.
+"""
+
+from repro.extensions.graph import VertexProgram, run_vertex_program
+from repro.extensions.linalg import (
+    MatrixEntry,
+    VectorEntry,
+    matvec,
+    power_iteration,
+    vector_norm,
+)
+
+__all__ = [
+    "VertexProgram",
+    "run_vertex_program",
+    "MatrixEntry",
+    "VectorEntry",
+    "matvec",
+    "power_iteration",
+    "vector_norm",
+]

@@ -1,0 +1,189 @@
+"""A vertex-centric graph API on top of DataBag/StatefulBag.
+
+The paper argues (§3.1) that "vertex-centric" programming models are
+just a domain-specific surface over iterative point-wise bag
+refinement, and promises such APIs as future work (§7).  This module
+delivers a Pregel-style abstraction whose *entire* runtime is one
+``@parallelize`` program over the core API — the compiler sees the
+superstep's message aggregation as an ordinary ``group_by`` + fold and
+fuses it like any other (fold-group fusion fires for every vertex
+program, for free).
+
+A :class:`VertexProgram` supplies four plain-Python UDFs:
+
+* ``init(vertex) -> value`` — the initial per-vertex value;
+* ``send(state, neighbor_count) -> message value`` — the value a vertex
+  sends along each out-edge;
+* ``combine`` — a fold triple ``(zero, lift, merge)`` aggregating the
+  incoming message values per receiver;
+* ``apply(state, aggregate) -> new value | None`` — point-wise update;
+  returning ``None`` keeps the old state (and, in semi-naive mode,
+  removes the vertex from the next frontier).
+
+``semi_naive=True`` sends messages only from vertices changed in the
+previous round and stops when the frontier empties (Connected
+Components); ``semi_naive=False`` runs all vertices for a fixed number
+of supersteps (PageRank).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.api import DataBag, parallelize, read, stateful
+from repro.core.io import JsonLinesFormat
+from repro.workloads.graphs import Vertex
+
+_GRAPH_FORMAT = JsonLinesFormat(Vertex)
+
+
+@dataclass(frozen=True)
+class VertexState:
+    """Engine-side per-vertex state: id, adjacency, current value."""
+
+    id: int
+    neighbors: tuple
+    value: Any
+
+
+@dataclass(frozen=True)
+class VertexMessage:
+    """A message addressed to vertex ``id``."""
+
+    id: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class VertexProgram:
+    """The four UDFs of a vertex-centric computation (see module doc)."""
+
+    init: Callable[[Vertex], Any]
+    send: Callable[[VertexState, int], Any]
+    combine_zero: Any
+    combine_lift: Callable[[Any], Any]
+    combine_merge: Callable[[Any, Any], Any]
+    apply: Callable[[VertexState, Any], Optional[Any]]
+    semi_naive: bool = False
+
+
+@parallelize
+def _superstep_loop(
+    graph_path,
+    init_fn,
+    send_fn,
+    combine_zero,
+    combine_lift,
+    combine_merge,
+    make_state,
+    make_message,
+    make_update,
+    apply_update,
+    semi_naive,
+    max_supersteps,
+):
+    """The generic vertex-program driver — one program for all of them.
+
+    The UDFs arrive as ordinary driver parameters; the compiler treats
+    them as opaque scalars while still fusing the per-receiver message
+    aggregation (the generic ``fold`` over group values) into an
+    ``agg_by``.
+    """
+    vertices = read(graph_path, _GRAPH_FORMAT)
+    initial = (make_state(v, init_fn(v)) for v in vertices)
+    state = stateful(initial)
+    frontier = state.bag()
+    superstep = 0
+    while superstep < max_supersteps and frontier.non_empty():
+        messages = (
+            make_message(n, send_fn(s, len(s.neighbors)))
+            for s in frontier
+            for n in s.neighbors
+        )
+        updates = (
+            make_update(
+                g.key,
+                g.values.map(lambda m: m.value).fold(
+                    combine_zero, combine_lift, combine_merge
+                ),
+            )
+            for g in messages.group_by(lambda m: m.id)
+        )
+        delta = state.update_with_messages(updates, apply_update)
+        if semi_naive:
+            frontier = delta
+        else:
+            frontier = state.bag()
+        superstep = superstep + 1
+    return state.bag()
+
+
+def run_vertex_program(
+    program: VertexProgram,
+    graph_path: str,
+    engine=None,
+    max_supersteps: int = 20,
+    config=None,
+) -> DataBag:
+    """Run a vertex program over a staged graph; returns the state bag."""
+
+    def apply_update(s: VertexState, u: VertexMessage):
+        new_value = program.apply(s, u.value)
+        if new_value is None:
+            return None
+        return VertexState(s.id, s.neighbors, new_value)
+
+    return _superstep_loop.run(
+        engine,
+        config=config,
+        graph_path=graph_path,
+        init_fn=program.init,
+        send_fn=program.send,
+        combine_zero=program.combine_zero,
+        combine_lift=program.combine_lift,
+        combine_merge=program.combine_merge,
+        make_state=lambda v, value: VertexState(
+            v.id, v.neighbors, value
+        ),
+        make_message=VertexMessage,
+        make_update=VertexMessage,
+        apply_update=apply_update,
+        semi_naive=program.semi_naive,
+        max_supersteps=max_supersteps,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ready-made vertex programs
+# ---------------------------------------------------------------------------
+
+
+def pagerank_program(
+    num_pages: int, damping: float = 0.85
+) -> VertexProgram:
+    """PageRank as a ten-line vertex program."""
+    return VertexProgram(
+        init=lambda _v: 1.0 / num_pages,
+        send=lambda s, degree: s.value / degree,
+        combine_zero=0.0,
+        combine_lift=lambda m: m,
+        combine_merge=lambda a, b: a + b,
+        apply=lambda _s, incoming: (
+            (1 - damping) / num_pages + damping * incoming
+        ),
+        semi_naive=False,
+    )
+
+
+def max_label_program() -> VertexProgram:
+    """Connected components via max-label propagation (semi-naive)."""
+    return VertexProgram(
+        init=lambda v: v.id,
+        send=lambda s, _degree: s.value,
+        combine_zero=-1,
+        combine_lift=lambda m: m,
+        combine_merge=lambda a, b: a if a >= b else b,
+        apply=lambda s, label: label if label > s.value else None,
+        semi_naive=True,
+    )

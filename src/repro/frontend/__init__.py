@@ -1,0 +1,51 @@
+"""The deep-embedding frontend (paper Sections 3.2 and 4, Figure 1).
+
+``@parallelize`` is the Python counterpart of Emma's Scala macro: it
+takes the *source* of the decorated function, parses it with the host
+``ast`` module, and lifts the full program — assignments, ``while``
+loops, ``if`` statements, and every expression — into driver IR whose
+DataBag expressions are first-class comprehension terms.  The holistic
+view over the whole program is what enables the logical and physical
+optimizations of Section 4; nothing in the user's code mentions
+parallelism.
+
+Python generator expressions over bags play the role of Scala
+for-comprehensions::
+
+    clusters = DataBag(
+        (nearest(ctrds, p), p) for p in points
+    )  # conceptually; see examples/ for runnable forms
+
+The decorator returns an :class:`~repro.frontend.parallelize.Algorithm`
+whose ``run(engine)`` executes on any backend — direct host-language
+evaluation on :class:`~repro.engines.local.LocalEngine`, compiled
+combinator dataflows on the simulated Spark-like/Flink-like engines.
+"""
+
+from repro.frontend.driver_ir import (
+    DriverProgram,
+    SAssign,
+    SExpr,
+    SFor,
+    SIf,
+    SReturn,
+    SWhile,
+    Stmt,
+)
+from repro.frontend.lift import LiftedFunction, lift_function
+from repro.frontend.parallelize import Algorithm, parallelize
+
+__all__ = [
+    "DriverProgram",
+    "SAssign",
+    "SExpr",
+    "SFor",
+    "SIf",
+    "SReturn",
+    "SWhile",
+    "Stmt",
+    "LiftedFunction",
+    "lift_function",
+    "Algorithm",
+    "parallelize",
+]

@@ -1,0 +1,151 @@
+"""The ``@parallelize`` decorator and the ``Algorithm`` object.
+
+This is the user-facing entry point of the deep embedding (the Python
+counterpart of the paper's ``parallelize`` Scala macro and ``Algorithm``
+object, Listing 4):
+
+    from repro.api import DataBag, parallelize, read, write
+
+    @parallelize
+    def kmeans(points: DataBag, k: int):
+        ...
+        return ctrds
+
+    result = kmeans.run(SparkLikeEngine(), points=..., k=3)
+
+The decorated function is lifted at decoration time; compilation per
+optimization configuration is cached; ``run`` selects the direct or
+compiled path based on the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.engines.base import Engine
+from repro.engines.local import LocalEngine
+from repro.errors import EmmaError
+from repro.frontend.lift import LiftedFunction, lift_function
+from repro.frontend.runtime import run_compiled, run_direct
+
+# repro.optimizer.pipeline imports repro.frontend.driver_ir, so the
+# pipeline import happens lazily (inside methods) to break the package-
+# level cycle frontend.__init__ -> parallelize -> pipeline ->
+# frontend.driver_ir -> frontend.__init__.
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.optimizer.pipeline import (
+        CompiledProgram,
+        EmmaConfig,
+        OptimizationReport,
+    )
+
+
+class Algorithm:
+    """A lifted, compilable, multi-backend data-analysis program."""
+
+    def __init__(self, lifted: LiftedFunction) -> None:
+        self.lifted = lifted
+        self._compiled: dict = {}
+
+    @property
+    def name(self) -> str:
+        return self.lifted.program.name
+
+    @property
+    def params(self) -> tuple[str, ...]:
+        return self.lifted.program.params
+
+    def compiled(
+        self, config: "EmmaConfig | None" = None
+    ) -> "CompiledProgram":
+        """Compile (and cache) the program for a configuration."""
+        from repro.optimizer.pipeline import EmmaConfig, compile_program
+
+        config = config or EmmaConfig()
+        if config not in self._compiled:
+            self._compiled[config] = compile_program(
+                self.lifted.program, config
+            )
+        return self._compiled[config]
+
+    def report(self, config: "EmmaConfig | None" = None) -> "OptimizationReport":
+        """Which optimizations fired for this program (Table 1 row)."""
+        return self.compiled(config).report
+
+    def explain(
+        self,
+        config: "EmmaConfig | None" = None,
+        comprehensions: bool = False,
+    ) -> str:
+        """The compiled dataflow plans, human-readable.
+
+        With ``comprehensions=True`` each site also shows its rewritten
+        comprehension view in Grust notation.
+        """
+        return self.compiled(config).explain(
+            comprehensions=comprehensions
+        )
+
+    def run(
+        self,
+        engine: Engine | None = None,
+        config: "EmmaConfig | None" = None,
+        **params: Any,
+    ) -> Any:
+        """Execute on a backend engine (LocalEngine by default).
+
+        Parameters are passed by keyword and must match the function's
+        parameter list exactly.  On the LocalEngine the *unoptimized*
+        program runs directly (the development/oracle mode), so
+        ``config`` has no effect there.
+        """
+        engine = engine or LocalEngine()
+        expected = set(self.params)
+        provided = set(params)
+        if expected != provided:
+            missing = sorted(expected - provided)
+            surplus = sorted(provided - expected)
+            raise EmmaError(
+                f"algorithm {self.name!r} parameter mismatch: "
+                f"missing={missing} unexpected={surplus}"
+            )
+        if getattr(engine, "direct", False):
+            return run_direct(
+                self.lifted.program, engine, self.lifted.captured, params
+            )
+        compiled = self.compiled(config)
+        return run_compiled(
+            compiled, engine, self.lifted.captured, params
+        )
+
+    def __repr__(self) -> str:
+        return f"Algorithm({self.name}, params={self.params})"
+
+
+def parallelize(
+    fn: Callable | None = None,
+    *,
+    bags: tuple[str, ...] | None = None,
+) -> Algorithm | Callable[[Callable], Algorithm]:
+    """Lift a function into an :class:`Algorithm`.
+
+    Usable bare or with arguments::
+
+        @parallelize
+        def algo(points: DataBag): ...
+
+        @parallelize(bags=("points",))
+        def algo(points): ...
+
+    ``bags`` names the DataBag-typed parameters when annotations are
+    not used.
+    """
+
+    def wrap(f: Callable) -> Algorithm:
+        return Algorithm(lift_function(f, bag_params=bags))
+
+    if fn is not None:
+        return wrap(fn)
+    return wrap

@@ -1,0 +1,57 @@
+"""Lowering: comprehensions -> combinator dataflows (paper Section 4.3).
+
+Each rule of Figure 2 matches elements of a normalized comprehension and
+replaces them with a closed-form *combinator*; the rewrite follows the
+Figure 3a state machine (filters first, then equi-joins, then crosses,
+then the final map/flat-map), which pushes filters as far down as the
+constructed dataflow allows.  The resulting combinator tree is the
+abstract version of the dataflow submitted to a parallel engine.
+"""
+
+from repro.lowering.combinators import (
+    CAggBy,
+    CBagRef,
+    CCross,
+    CDistinct,
+    CEqJoin,
+    CFilter,
+    CFlatMap,
+    CFold,
+    CGroupBy,
+    CMap,
+    CMinus,
+    CParallelize,
+    CSemiJoin,
+    CSource,
+    CUnion,
+    Combinator,
+    ScalarFn,
+    combinator_nodes,
+    explain,
+)
+from repro.lowering.rules import LoweringContext, lower, lower_source
+
+__all__ = [
+    "CAggBy",
+    "CBagRef",
+    "CCross",
+    "CDistinct",
+    "CEqJoin",
+    "CFilter",
+    "CFlatMap",
+    "CFold",
+    "CGroupBy",
+    "CMap",
+    "CMinus",
+    "CParallelize",
+    "CSemiJoin",
+    "CSource",
+    "CUnion",
+    "Combinator",
+    "ScalarFn",
+    "combinator_nodes",
+    "explain",
+    "LoweringContext",
+    "lower",
+    "lower_source",
+]

@@ -1,0 +1,417 @@
+"""Combinator nodes — the abstract parallel dataflow (paper §4.3.1).
+
+Each combinator corresponds to a higher-order function supported by the
+target engines (``map``, ``flatMap``, ``filter``, ``join``, ``cross``,
+``groupBy``/``reduceByKey``-style ``aggBy``, ``union``, ...), so
+generating a concrete dataflow is node-by-node substitution.  The nodes
+here are *logical with physical annotations*: the optimizer may set
+``cache`` (materialize and reuse the result across dataflow submissions)
+and ``partition_hint`` (enforce a hash partitioning on a key, so later
+joins/groupings reuse it) on any node.
+
+UDFs are carried as :class:`ScalarFn` — a parameter list plus a lifted
+IR body.  At submission time the engine closes the body over the driver
+environment; free variables that resolve to bags become broadcast
+variables (the paper's transparent "driver to UDFs" data motion,
+Figure 3b).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.comprehension.exprs import (
+    AlgebraSpec,
+    Env,
+    Expr,
+    Lambda,
+    Ref,
+)
+from repro.comprehension.pretty import pretty
+
+_node_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class ScalarFn:
+    """A UDF: parameters plus a lifted IR body.
+
+    ``compile(env)`` closes the body over ``env`` and returns a plain
+    Python callable.  ``free_names()`` lists the body's unbound names —
+    the candidates for broadcast injection and closure capture.
+    """
+
+    params: tuple[str, ...]
+    body: Expr
+
+    def free_names(self) -> frozenset[str]:
+        """Unbound names of the body — broadcast/closure candidates."""
+        return self.body.free_vars() - frozenset(self.params)
+
+    def compile(self, env: Env | Mapping[str, Any]) -> Callable:
+        """Close the body over ``env``; returns a plain callable."""
+        return Lambda(self.params, self.body).evaluate(Env.of(env))
+
+    @staticmethod
+    def identity(var: str = "x") -> "ScalarFn":
+        return ScalarFn((var,), Ref(var))
+
+    def canonical(self) -> "ScalarFn":
+        """Alpha-normalized form: parameters renamed positionally.
+
+        Two UDFs that differ only in parameter names canonicalize to
+        equal values — partitioner matching uses this so that e.g. a
+        grouping key ``\\g -> g.key`` recognizes a partitioning recorded
+        as ``\\_g -> _g.key``.
+        """
+        mapping = {
+            p: Ref(f"_arg{i}") for i, p in enumerate(self.params)
+        }
+        return ScalarFn(
+            tuple(f"_arg{i}" for i in range(len(self.params))),
+            self.body.substitute(mapping),
+        )
+
+    def is_identity(self) -> bool:
+        """Whether the UDF is ``x -> x`` (elidable as a map)."""
+        return (
+            len(self.params) == 1
+            and isinstance(self.body, Ref)
+            and self.body.name == self.params[0]
+        )
+
+    def describe(self) -> str:
+        """A one-line lambda rendering for plan explanations."""
+        return f"\\{', '.join(self.params)} -> {pretty(self.body)}"
+
+
+@dataclass(frozen=True)
+class Combinator:
+    """Base class for dataflow combinator nodes.
+
+    ``cache`` and ``partition_hint`` are physical annotations set by the
+    optimizer; ``node_id`` identifies the node across rewrites (used by
+    engines for cache keys).
+    """
+
+    node_id: int = field(
+        default_factory=lambda: next(_node_ids), compare=False
+    )
+    cache: bool = field(default=False, compare=False)
+    partition_hint: ScalarFn | None = field(default=None, compare=False)
+
+    def inputs(self) -> tuple["Combinator", ...]:
+        """The upstream dataflow nodes this combinator consumes."""
+        return ()
+
+    def udfs(self) -> tuple[ScalarFn, ...]:
+        """The UDFs evaluated by this node (for broadcast analysis)."""
+        return ()
+
+    def with_cache(self) -> "Combinator":
+        """A copy annotated for materialization (same node id)."""
+        return replace(self, cache=True)
+
+    def with_partition_hint(self, key: ScalarFn) -> "Combinator":
+        """A copy annotated with an enforced hash partitioning."""
+        return replace(self, partition_hint=key)
+
+    def label(self) -> str:
+        """The operator's display name (class name sans ``C``)."""
+        return type(self).__name__.lstrip("C")
+
+    def describe(self) -> str:
+        """One-line node rendering for :func:`explain`."""
+        return self.label()
+
+
+# -- leaves -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CSource(Combinator):
+    """Read a bag from the (distributed) filesystem."""
+
+    path: Expr = None  # type: ignore[assignment]
+    fmt: Expr = None  # type: ignore[assignment]
+
+    def describe(self) -> str:
+        return f"Source({pretty(self.path)})"
+
+
+@dataclass(frozen=True)
+class CBagRef(Combinator):
+    """Reference a driver-held bag value by name.
+
+    At submission the engine resolves the name in the driver
+    environment: a cached/distributed bag plugs in directly; a local
+    DataBag is parallelized (the "driver to dataflow" edge).
+    """
+
+    name: str = ""
+
+    def describe(self) -> str:
+        return f"BagRef({self.name})"
+
+
+@dataclass(frozen=True)
+class CParallelize(Combinator):
+    """Lift a driver-side sequence expression into a distributed bag."""
+
+    seq: Expr = None  # type: ignore[assignment]
+
+    def describe(self) -> str:
+        return f"Parallelize({pretty(self.seq)})"
+
+
+# -- element-wise -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CMap(Combinator):
+    """``map f xs``."""
+
+    fn: ScalarFn = None  # type: ignore[assignment]
+    input: Combinator = None  # type: ignore[assignment]
+
+    def inputs(self) -> tuple[Combinator, ...]:
+        return (self.input,)
+
+    def udfs(self) -> tuple[ScalarFn, ...]:
+        return (self.fn,)
+
+    def describe(self) -> str:
+        return f"Map({self.fn.describe()})"
+
+
+@dataclass(frozen=True)
+class CFlatMap(Combinator):
+    """``flatMap f xs`` — f yields a collection per element."""
+
+    fn: ScalarFn = None  # type: ignore[assignment]
+    input: Combinator = None  # type: ignore[assignment]
+
+    def inputs(self) -> tuple[Combinator, ...]:
+        return (self.input,)
+
+    def udfs(self) -> tuple[ScalarFn, ...]:
+        return (self.fn,)
+
+    def describe(self) -> str:
+        return f"FlatMap({self.fn.describe()})"
+
+
+@dataclass(frozen=True)
+class CFilter(Combinator):
+    """``filter p xs``."""
+
+    predicate: ScalarFn = None  # type: ignore[assignment]
+    input: Combinator = None  # type: ignore[assignment]
+
+    def inputs(self) -> tuple[Combinator, ...]:
+        return (self.input,)
+
+    def udfs(self) -> tuple[ScalarFn, ...]:
+        return (self.predicate,)
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate.describe()})"
+
+
+# -- binary ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CEqJoin(Combinator):
+    """Equi-join: pairs ``(x, y)`` with ``kx(x) == ky(y)``."""
+
+    kx: ScalarFn = None  # type: ignore[assignment]
+    ky: ScalarFn = None  # type: ignore[assignment]
+    left: Combinator = None  # type: ignore[assignment]
+    right: Combinator = None  # type: ignore[assignment]
+
+    def inputs(self) -> tuple[Combinator, ...]:
+        return (self.left, self.right)
+
+    def udfs(self) -> tuple[ScalarFn, ...]:
+        return (self.kx, self.ky)
+
+    def describe(self) -> str:
+        return f"EqJoin({self.kx.describe()} == {self.ky.describe()})"
+
+
+@dataclass(frozen=True)
+class CSemiJoin(Combinator):
+    """Left semi-join (``anti=False``) or anti-join (``anti=True``).
+
+    Emits each left element at most once — the realization of an
+    ``EXISTS``/``NOT_EXISTS`` generator, preserving bag multiplicities
+    of the left side.
+    """
+
+    kx: ScalarFn = None  # type: ignore[assignment]
+    ky: ScalarFn = None  # type: ignore[assignment]
+    left: Combinator = None  # type: ignore[assignment]
+    right: Combinator = None  # type: ignore[assignment]
+    anti: bool = False
+
+    def inputs(self) -> tuple[Combinator, ...]:
+        return (self.left, self.right)
+
+    def udfs(self) -> tuple[ScalarFn, ...]:
+        return (self.kx, self.ky)
+
+    def describe(self) -> str:
+        kind = "AntiJoin" if self.anti else "SemiJoin"
+        return f"{kind}({self.kx.describe()} == {self.ky.describe()})"
+
+
+@dataclass(frozen=True)
+class CCross(Combinator):
+    """Cartesian product: all pairs ``(x, y)``."""
+
+    left: Combinator = None  # type: ignore[assignment]
+    right: Combinator = None  # type: ignore[assignment]
+
+    def inputs(self) -> tuple[Combinator, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class CUnion(Combinator):
+    """Bag union (``plus``)."""
+
+    left: Combinator = None  # type: ignore[assignment]
+    right: Combinator = None  # type: ignore[assignment]
+
+    def inputs(self) -> tuple[Combinator, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class CMinus(Combinator):
+    """Bag difference (``minus``)."""
+
+    left: Combinator = None  # type: ignore[assignment]
+    right: Combinator = None  # type: ignore[assignment]
+
+    def inputs(self) -> tuple[Combinator, ...]:
+        return (self.left, self.right)
+
+
+# -- grouping / aggregation ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CGroupBy(Combinator):
+    """``groupBy k xs`` — materializes ``Grp(key, values)`` groups.
+
+    Requires a full shuffle *and* per-key materialization of group
+    values; fold-group fusion exists to replace this node with
+    :class:`CAggBy` whenever the group values are only folded.
+    """
+
+    key: ScalarFn = None  # type: ignore[assignment]
+    input: Combinator = None  # type: ignore[assignment]
+
+    def inputs(self) -> tuple[Combinator, ...]:
+        return (self.input,)
+
+    def udfs(self) -> tuple[ScalarFn, ...]:
+        return (self.key,)
+
+    def describe(self) -> str:
+        return f"GroupBy({self.key.describe()})"
+
+
+@dataclass(frozen=True)
+class CAggBy(Combinator):
+    """``aggBy k (e1 x ... x en, s1 x ... x sn, u1 x ... x un) xs``.
+
+    The fused form produced by fold-group fusion: emits one
+    ``(key, a1, ..., an)`` record per key, pre-aggregating on the mapper
+    side before the shuffle (the ``reduceByKey``/``combine`` pattern).
+    """
+
+    key: ScalarFn = None  # type: ignore[assignment]
+    specs: tuple[AlgebraSpec, ...] = ()
+    input: Combinator = None  # type: ignore[assignment]
+
+    def inputs(self) -> tuple[Combinator, ...]:
+        return (self.input,)
+
+    def udfs(self) -> tuple[ScalarFn, ...]:
+        return (self.key,)
+
+    def describe(self) -> str:
+        names = ", ".join(s.alias for s in self.specs)
+        return f"AggBy({self.key.describe()}; {names})"
+
+
+@dataclass(frozen=True)
+class CDistinct(Combinator):
+    """Duplicate elimination."""
+
+    input: Combinator = None  # type: ignore[assignment]
+
+    def inputs(self) -> tuple[Combinator, ...]:
+        return (self.input,)
+
+
+@dataclass(frozen=True)
+class CFold(Combinator):
+    """A global fold — the dataflow's result is a scalar on the driver."""
+
+    spec: AlgebraSpec = None  # type: ignore[assignment]
+    input: Combinator = None  # type: ignore[assignment]
+
+    def inputs(self) -> tuple[Combinator, ...]:
+        return (self.input,)
+
+    def describe(self) -> str:
+        return f"Fold({self.spec.alias})"
+
+
+# ---------------------------------------------------------------------------
+# Utilities
+# ---------------------------------------------------------------------------
+
+
+def combinator_nodes(root: Combinator) -> Iterator[Combinator]:
+    """Yield all nodes of a combinator tree, pre-order."""
+    yield root
+    for child in root.inputs():
+        yield from combinator_nodes(child)
+
+
+def explain(root: Combinator, indent: int = 0) -> str:
+    """Render a combinator tree as an indented plan, one node per line."""
+    flags = []
+    if root.cache:
+        flags.append("cached")
+    if root.partition_hint is not None:
+        flags.append(f"partitioned[{root.partition_hint.describe()}]")
+    suffix = f"  <{', '.join(flags)}>" if flags else ""
+    lines = ["  " * indent + root.describe() + suffix]
+    for child in root.inputs():
+        lines.append(explain(child, indent + 1))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class AggResult:
+    """One output record of :class:`CAggBy`: the key plus aggregates.
+
+    Aggregates are accessed positionally (``aggs[i]``) by the rewritten
+    head expressions that fold-group fusion produces.
+    """
+
+    key: Any
+    aggs: tuple
+
+    def __iter__(self) -> Iterator[Any]:
+        # Allow tuple-style unpacking: (key, a1, ..., an).
+        yield self.key
+        yield from self.aggs

@@ -1,0 +1,30 @@
+"""Logical and physical optimizations (paper Sections 4.2 and 4.4).
+
+* :mod:`repro.optimizer.inlining` — inline single-use bag definitions
+  before resugaring, producing bigger comprehensions with more rewrite
+  opportunities (Section 4.1, "Inlining").
+* :mod:`repro.optimizer.fold_group_fusion` — the banana-split +
+  fold-build-fusion rewrite turning ``group_by`` into ``agg_by``
+  (Section 4.2.2).
+* :mod:`repro.optimizer.caching` — materialize dataflow results that
+  are referenced more than once or consumed inside loops (Section 4.4).
+* :mod:`repro.optimizer.partition_pulling` — pull interesting hash
+  partitionings out of loops to the producing cache site (Section 4.4).
+* :mod:`repro.optimizer.pipeline` — the pass manager: orchestrates
+  inlining, per-site comprehension rewriting, lowering, and the
+  physical passes; records which optimizations fired (Table 1).
+"""
+
+from repro.optimizer.pipeline import (
+    CompiledProgram,
+    EmmaConfig,
+    OptimizationReport,
+    compile_program,
+)
+
+__all__ = [
+    "CompiledProgram",
+    "EmmaConfig",
+    "OptimizationReport",
+    "compile_program",
+]

@@ -1,0 +1,417 @@
+"""The compiler pass manager (paper Figure 1, steps i-iii).
+
+``compile_program`` takes lifted driver IR and a configuration and
+produces a :class:`CompiledProgram`:
+
+1. **Inlining** — single-use bag definitions collapse into their
+   consumers (Section 4.1).
+2. **Caching analysis** — loop-invariant multi-use bags get ``SCache``
+   statements (Section 4.4); disabled by ``EmmaConfig.caching=False``.
+3. **Per-site compilation** — every maximal DataBag expression in the
+   driver IR is resugared (``MC⁻¹``), normalized (unnesting; the
+   exists-rule obeys ``EmmaConfig.unnesting``), fold-group-fused
+   (``EmmaConfig.fold_group_fusion``), and lowered to a combinator
+   dataflow, which replaces the expression as a :class:`PlanExpr`.
+4. **Partition pulling** — join/group keys observed over cached names
+   in the normalized sites choose the enforced partitioning at each
+   cache site (``EmmaConfig.partition_pulling``).
+
+The :class:`OptimizationReport` records which optimizations actually
+fired — reproducing the paper's Table 1 is a matter of compiling each
+program and reading its report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.comprehension.exprs import (
+    BagExpr,
+    Env,
+    Expr,
+    FetchCall,
+    FoldCall,
+    Ref,
+    StatefulCreate,
+    StatefulUpdate,
+    StatefulUpdateWithMessages,
+    WriteCall,
+)
+from repro.comprehension.ir import BAG, Comprehension
+from repro.comprehension.normalize import NormalizeStats, normalize
+from repro.comprehension.resugar import resugar
+from repro.engines.sizes import estimate_bag_bytes
+from repro.errors import EmmaError
+from repro.frontend.driver_ir import (
+    DriverProgram,
+    SAssign,
+    SCache,
+    SExpr,
+    SFor,
+    SIf,
+    SReturn,
+    SWhile,
+    Stmt,
+)
+from repro.lowering.combinators import Combinator, ScalarFn, explain
+from repro.lowering.rules import LoweringContext, lower
+from repro.optimizer.caching import (
+    CacheDecision,
+    insert_cache_statements,
+    plan_caching,
+)
+from repro.optimizer.fold_group_fusion import FusionStats, fold_group_fusion
+from repro.optimizer.inlining import inline_single_use
+from repro.optimizer.partition_pulling import (
+    PartitionUse,
+    choose_partition_keys,
+    collect_partition_uses,
+)
+
+
+@dataclass(frozen=True)
+class EmmaConfig:
+    """Which optimizations the compiler pipeline applies."""
+
+    inlining: bool = True
+    unnesting: bool = True
+    fold_group_fusion: bool = True
+    caching: bool = True
+    partition_pulling: bool = True
+    #: ablation knob: disable the Figure 3a filter-pushdown state
+    filter_pushdown: bool = True
+
+    @staticmethod
+    def none() -> "EmmaConfig":
+        """The unoptimized baseline (inlining stays on — it is a
+        preprocessing step, not one of the paper's Table 1 rows)."""
+        return EmmaConfig(
+            unnesting=False,
+            fold_group_fusion=False,
+            caching=False,
+            partition_pulling=False,
+        )
+
+    @staticmethod
+    def all() -> "EmmaConfig":
+        return EmmaConfig()
+
+    def label(self) -> str:
+        """A short human-readable configuration name."""
+        parts = []
+        if self.unnesting:
+            parts.append("unnesting")
+        if self.fold_group_fusion:
+            parts.append("fold-group-fusion")
+        if self.caching:
+            parts.append("caching")
+        if self.partition_pulling:
+            parts.append("partition-pulling")
+        return "+".join(parts) if parts else "baseline"
+
+
+@dataclass
+class OptimizationReport:
+    """What the compiler did — the per-program row of Table 1."""
+
+    config: EmmaConfig = field(default_factory=EmmaConfig)
+    inlined_definitions: int = 0
+    exists_unnests: int = 0
+    generator_unnests: int = 0
+    head_unnests: int = 0
+    fused_groups: int = 0
+    fused_folds: int = 0
+    cache_decisions: list[CacheDecision] = field(default_factory=list)
+    partition_keys: dict[str, ScalarFn] = field(default_factory=dict)
+    dataflow_sites: int = 0
+
+    @property
+    def unnesting_applied(self) -> bool:
+        return self.exists_unnests > 0
+
+    @property
+    def fold_group_fusion_applied(self) -> bool:
+        return self.fused_groups > 0
+
+    @property
+    def caching_applied(self) -> bool:
+        return bool(self.cache_decisions)
+
+    @property
+    def partition_pulling_applied(self) -> bool:
+        return bool(self.partition_keys)
+
+    def table1_row(self) -> dict[str, bool]:
+        """The applicability row: optimization name -> applied."""
+        return {
+            "unnesting": self.unnesting_applied,
+            "fold_group_fusion": self.fold_group_fusion_applied,
+            "caching": self.caching_applied,
+            "partition_pulling": self.partition_pulling_applied,
+        }
+
+
+@dataclass(frozen=True)
+class PlanExpr(Expr):
+    """A compiled dataflow site embedded in a driver expression.
+
+    ``kind`` selects the runtime action:
+
+    * ``"bag"`` — defer (lazy thunk, Spark/Flink-style);
+    * ``"scalar"`` — run the fold job now, return the scalar;
+    * ``"fetch"`` — run and collect to the driver;
+    * ``"write"`` — run and write the result to the simulated DFS.
+
+    Evaluation reaches the engine through the reserved environment
+    names ``__engine__`` and ``__denv__`` installed by the driver
+    interpreter.
+    """
+
+    plan: Combinator = None  # type: ignore[assignment]
+    kind: str = "bag"
+    path: Expr | None = None
+
+    def free_vars(self) -> frozenset[str]:
+        # The plan's references resolve from the full driver env at
+        # runtime; captured-name analysis ran before compilation.
+        return frozenset()
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> "Expr":
+        return self
+
+    def is_bag_typed(self) -> bool:
+        return self.kind == "bag"
+
+    def evaluate(self, env: Env) -> Any:
+        engine = env.lookup("__engine__")
+        denv = env.lookup("__denv__")
+        if self.kind == "bag":
+            return engine.defer(self.plan, denv)
+        if self.kind == "scalar":
+            return engine.run_scalar(self.plan, denv)
+        if self.kind == "fetch":
+            return engine.collect(engine.defer(self.plan, denv))
+        if self.kind == "write":
+            records = engine.collect(engine.defer(self.plan, denv))
+            path = self.path.evaluate(env)
+            job = engine._new_job()
+            nbytes = estimate_bag_bytes(records)
+            job.charge_spread(engine.cost.dfs_write_seconds(nbytes))
+            engine.metrics.dfs_write_bytes += nbytes
+            engine.dfs.put(path, records)
+            engine._finish_job(job)
+            return None
+        raise EmmaError(f"unknown PlanExpr kind {self.kind!r}")
+
+
+@dataclass
+class CompiledProgram:
+    """A driver program with compiled dataflow sites."""
+
+    program: DriverProgram
+    partition_keys: dict[str, ScalarFn]
+    report: OptimizationReport
+    #: (site expression after rewriting, lowered plan, in_loop) triples
+    sites: list[tuple[Expr, Combinator, bool]] = field(
+        default_factory=list
+    )
+
+    def explain(self, comprehensions: bool = False) -> str:
+        """All compiled dataflow plans, one indented tree per site.
+
+        With ``comprehensions=True``, each site is prefixed by its
+        rewritten comprehension view in Grust notation — the paper's
+        intermediate representation, as the compiler saw it after
+        normalization and fold-group fusion.
+        """
+        from repro.comprehension.pretty import pretty
+
+        blocks = []
+        for i, (expr, plan, in_loop) in enumerate(self.sites):
+            suffix = " (in loop)" if in_loop else ""
+            lines = [f"-- site {i}{suffix} --"]
+            if comprehensions:
+                lines.append(f"view: {pretty(expr)}")
+            lines.append(explain(plan))
+            blocks.append("\n".join(lines))
+        return "\n".join(blocks)
+
+
+class _SiteCompiler:
+    """Compiles driver expressions, replacing dataflow sites in place."""
+
+    def __init__(
+        self, config: EmmaConfig, report: OptimizationReport
+    ) -> None:
+        self.config = config
+        self.report = report
+        self.bag_names: set[str] = set()
+        self.stateful_names: set[str] = set()
+        self.partition_uses: list[PartitionUse] = []
+        self.sites: list[tuple[Expr, Combinator, bool]] = []
+        self._in_loop = False
+
+    # -- site pipeline ------------------------------------------------------
+
+    def compile_site(self, expr: Expr) -> Combinator:
+        norm_stats = NormalizeStats()
+        rewritten = resugar(expr)
+        rewritten = normalize(
+            rewritten,
+            unnest_exists=self.config.unnesting,
+            stats=norm_stats,
+        )
+        self.report.exists_unnests += norm_stats.exists_unnests
+        self.report.generator_unnests += norm_stats.generator_unnests
+        self.report.head_unnests += norm_stats.head_unnests
+        if self.config.fold_group_fusion:
+            fusion = FusionStats()
+            rewritten = fold_group_fusion(rewritten, fusion)
+            self.report.fused_groups += fusion.fused_groups
+            self.report.fused_folds += fusion.fused_folds
+        self.partition_uses.extend(
+            collect_partition_uses(rewritten, self._in_loop)
+        )
+        plan = lower(
+            rewritten,
+            LoweringContext(
+                driver_vars=frozenset(self.bag_names),
+                push_filters=self.config.filter_pushdown,
+            ),
+        )
+        self.report.dataflow_sites += 1
+        self.sites.append((rewritten, plan, self._in_loop))
+        return plan
+
+    # -- expression walk ------------------------------------------------------
+
+    def compile_expr(self, expr: Expr) -> Expr:
+        if isinstance(expr, WriteCall):
+            plan = self.compile_site(expr.source)
+            return PlanExpr(
+                plan=plan,
+                kind="write",
+                path=self.compile_expr(expr.path),
+            )
+        if isinstance(expr, FetchCall):
+            return PlanExpr(
+                plan=self.compile_site(expr.source), kind="fetch"
+            )
+        if isinstance(expr, StatefulCreate):
+            return replace(
+                expr, source=self.compile_expr(expr.source)
+            )
+        if isinstance(expr, (StatefulUpdate, StatefulUpdateWithMessages)):
+            changes: dict[str, Expr] = {}
+            if isinstance(expr, StatefulUpdateWithMessages):
+                changes["messages"] = self.compile_expr(expr.messages)
+            return replace(expr, **changes) if changes else expr
+        if isinstance(expr, FoldCall):
+            return PlanExpr(
+                plan=self.compile_site(expr), kind="scalar"
+            )
+        if self._is_bag(expr):
+            return PlanExpr(plan=self.compile_site(expr), kind="bag")
+        return expr.rebuild(self.compile_expr)
+
+    def _is_bag(self, expr: Expr) -> bool:
+        if isinstance(expr, Comprehension):
+            return expr.kind is BAG
+        if isinstance(expr, BagExpr):
+            return True
+        if isinstance(expr, Ref):
+            return expr.name in self.bag_names
+        return False
+
+    # -- statement walk -----------------------------------------------------------
+
+    def compile_block(self, stmts: tuple[Stmt, ...]) -> tuple[Stmt, ...]:
+        out: list[Stmt] = []
+        for stmt in stmts:
+            out.append(self.compile_stmt(stmt))
+        return tuple(out)
+
+    def compile_stmt(self, stmt: Stmt) -> Stmt:
+        if isinstance(stmt, SAssign):
+            if stmt.stateful:
+                self.stateful_names.add(stmt.name)
+                self.bag_names.discard(stmt.name)
+            elif stmt.bag_typed:
+                self.bag_names.add(stmt.name)
+                self.stateful_names.discard(stmt.name)
+            else:
+                self.bag_names.discard(stmt.name)
+                self.stateful_names.discard(stmt.name)
+            return replace(stmt, value=self.compile_expr(stmt.value))
+        if isinstance(stmt, SExpr):
+            return replace(stmt, value=self.compile_expr(stmt.value))
+        if isinstance(stmt, SReturn):
+            if stmt.value is None:
+                return stmt
+            return replace(stmt, value=self.compile_expr(stmt.value))
+        if isinstance(stmt, SWhile):
+            cond = self.compile_expr(stmt.cond)
+            prev, self._in_loop = self._in_loop, True
+            body = self.compile_block(stmt.body)
+            self._in_loop = prev
+            return replace(stmt, cond=cond, body=body)
+        if isinstance(stmt, SFor):
+            iterable = self.compile_expr(stmt.iterable)
+            prev, self._in_loop = self._in_loop, True
+            body = self.compile_block(stmt.body)
+            self._in_loop = prev
+            return replace(stmt, iterable=iterable, body=body)
+        if isinstance(stmt, SIf):
+            return replace(
+                stmt,
+                cond=self.compile_expr(stmt.cond),
+                then=self.compile_block(stmt.then),
+                orelse=self.compile_block(stmt.orelse),
+            )
+        if isinstance(stmt, SCache):
+            return stmt
+        raise EmmaError(
+            f"cannot compile statement {type(stmt).__name__}"
+        )
+
+
+def compile_program(
+    program: DriverProgram, config: EmmaConfig | None = None
+) -> CompiledProgram:
+    """Run the full pipeline; see the module docstring."""
+    config = config or EmmaConfig()
+    report = OptimizationReport(config=config)
+
+    # 1. Inlining.
+    if config.inlining:
+        program, inlined = inline_single_use(program)
+        report.inlined_definitions = inlined
+
+    # 2. Caching analysis (before sites are replaced by plans).
+    if config.caching:
+        decisions = plan_caching(program)
+        report.cache_decisions = decisions
+        program = insert_cache_statements(program, decisions)
+
+    # 3. Per-site compilation.
+    compiler = _SiteCompiler(config, report)
+    compiler.bag_names |= set(program.bag_params)
+    compiled_body = compiler.compile_block(program.body)
+    compiled = program.with_body(compiled_body)
+
+    # 4. Partition pulling.
+    partition_keys: dict[str, ScalarFn] = {}
+    if config.partition_pulling and report.cache_decisions:
+        cached = {d.name for d in report.cache_decisions}
+        partition_keys = choose_partition_keys(
+            compiler.partition_uses, cached
+        )
+        report.partition_keys = partition_keys
+
+    return CompiledProgram(
+        program=compiled,
+        partition_keys=partition_keys,
+        report=report,
+        sites=compiler.sites,
+    )

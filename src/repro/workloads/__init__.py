@@ -1,0 +1,44 @@
+"""The paper's evaluation workloads (Section 5 and Appendix A).
+
+Each module pairs an ``@parallelize`` algorithm with its record schema
+and a data generator that stages synthetic input into a simulated DFS:
+
+* :mod:`repro.workloads.spam` — the data-parallel workflow of
+  Listing 5 (spam-classifier selection; Figure 4);
+* :mod:`repro.workloads.kmeans` — Lloyd's algorithm (Listing 4);
+* :mod:`repro.workloads.pagerank` — PageRank with stateful bags
+  (Appendix A.1.1);
+* :mod:`repro.workloads.connected_components` — semi-naive connected
+  components (Appendix A.1.2);
+* :mod:`repro.workloads.tpch` — TPC-H Q1 and Q4 (Appendix A.2) plus a
+  from-scratch ``lineitem``/``orders`` generator;
+* :mod:`repro.workloads.datagen` — the synthetic email corpus,
+  blacklist, clustered points, and the keyed tuples of Figure 5
+  (uniform / Gaussian / Pareto key distributions);
+* :mod:`repro.workloads.graphs` — a preferential-attachment follower
+  graph standing in for the Twitter graph [12].
+"""
+
+from repro.workloads import (
+    connected_components,
+    datagen,
+    graphs,
+    groupagg,
+    kmeans,
+    pagerank,
+    spam,
+    tpch,
+)
+from repro.workloads.linalg import Vec
+
+__all__ = [
+    "Vec",
+    "connected_components",
+    "datagen",
+    "graphs",
+    "groupagg",
+    "kmeans",
+    "pagerank",
+    "spam",
+    "tpch",
+]

@@ -1,0 +1,268 @@
+"""Synthetic dataset generators for the evaluation workloads.
+
+All generators are deterministic given a seed.  Scales are laptop-sized
+stand-ins for the paper's datasets with the *relative* proportions
+preserved (the cost model is linear in bytes, so ratios — which is what
+the experiments claim — survive scaling; see DESIGN.md).
+
+* :func:`generate_emails` / :func:`generate_blacklist` — the Figure 4
+  workflow inputs (paper: 1M emails / 100 GB vs 100k blacklisted IPs /
+  2 GB; here the email corpus stays ~50x larger than the blacklist).
+* :func:`generate_points` — clustered points for k-means (paper: 1.6B
+  points around 3 centers).
+* :func:`generate_keyed_tuples` — the Figure 5 aggregation input:
+  (key, value, payload) tuples with uniform / Gaussian / Pareto key
+  distributions; the Pareto variant assigns ~35% of all tuples to a
+  single hot key, as in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+
+from repro.engines.dfs import SimulatedDFS
+from repro.workloads.linalg import Vec
+
+
+# ---------------------------------------------------------------------------
+# Emails + blacklist (Figure 4 / Listing 5)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RawEmail:
+    """An unprocessed email as read from storage."""
+
+    id: int
+    ip: int
+    subject: str
+    body: str
+
+
+@dataclass(frozen=True)
+class Email:
+    """A featurized email (the output of ``extract_features``)."""
+
+    id: int
+    ip: int
+    features: tuple
+
+
+@dataclass(frozen=True)
+class BlacklistEntry:
+    """A blacklisted mail server with descriptive payload."""
+
+    ip: int
+    owner: str
+    reason: str
+
+
+def extract_features(raw: RawEmail) -> Email:
+    """The feature-extraction UDF of the workflow (Listing 5, line 1).
+
+    Deliberately produces a deterministic feature vector from the text;
+    re-running it per loop iteration is what caching amortizes.
+    """
+    subject_len = float(len(raw.subject))
+    body_len = float(len(raw.body))
+    caps = float(sum(1 for ch in raw.subject if ch.isupper()))
+    digits = float(sum(1 for ch in raw.body if ch.isdigit()))
+    exclaim = float(raw.subject.count("!") + raw.body.count("!"))
+    return Email(
+        id=raw.id,
+        ip=raw.ip,
+        features=(subject_len, body_len, caps, digits, exclaim),
+    )
+
+
+def generate_emails(
+    n: int,
+    num_ips: int = 0,
+    body_chars: int = 64,
+    seed: int = 7,
+) -> list[RawEmail]:
+    """Synthetic email corpus; IPs drawn uniformly from ``num_ips``."""
+    rng = random.Random(seed)
+    num_ips = num_ips or max(n // 4, 1)
+    alphabet = string.ascii_letters + string.digits + "  !!"
+    out = []
+    for i in range(n):
+        subject = "".join(
+            rng.choice(alphabet) for _ in range(rng.randint(8, 24))
+        )
+        body = "".join(rng.choice(alphabet) for _ in range(body_chars))
+        out.append(
+            RawEmail(
+                id=i,
+                ip=rng.randrange(num_ips),
+                subject=subject,
+                body=body,
+            )
+        )
+    return out
+
+
+def generate_blacklist(
+    n: int, num_ips: int, seed: int = 11
+) -> list[BlacklistEntry]:
+    """Blacklisted servers: ``n`` distinct IPs out of ``num_ips``."""
+    rng = random.Random(seed)
+    ips = rng.sample(range(num_ips), min(n, num_ips))
+    reasons = ("open-relay", "botnet", "phishing", "spamtrap")
+    return [
+        BlacklistEntry(
+            ip=ip,
+            owner=f"as{rng.randrange(65536)}.example.net",
+            reason=rng.choice(reasons),
+        )
+        for ip in ips
+    ]
+
+
+def stage_spam_inputs(
+    dfs: SimulatedDFS,
+    num_emails: int = 4000,
+    num_blacklisted: int = 100,
+    num_ips: int = 1000,
+    seed: int = 7,
+) -> tuple[str, str]:
+    """Stage emails + blacklist into a DFS; returns their paths."""
+    emails_path = "data/emails"
+    blacklist_path = "data/blacklist"
+    dfs.put(emails_path, generate_emails(num_emails, num_ips, seed=seed))
+    dfs.put(
+        blacklist_path,
+        generate_blacklist(num_blacklisted, num_ips, seed=seed + 1),
+    )
+    return emails_path, blacklist_path
+
+
+# ---------------------------------------------------------------------------
+# Clustered points (k-means, Section 5.2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point with an id and a position vector."""
+
+    id: int
+    pos: Vec
+
+
+def generate_points(
+    n: int,
+    centers: int = 3,
+    dim: int = 3,
+    spread: float = 1.0,
+    seed: int = 13,
+) -> list[Point]:
+    """Points drawn around ``centers`` well-separated cluster centers."""
+    rng = random.Random(seed)
+    center_positions = [
+        Vec(rng.uniform(-50, 50) for _ in range(dim))
+        for _ in range(centers)
+    ]
+    out = []
+    for i in range(n):
+        center = center_positions[i % centers]
+        pos = Vec(
+            c + rng.gauss(0.0, spread) for c in center
+        )
+        out.append(Point(id=i, pos=pos))
+    return out
+
+
+def stage_points(
+    dfs: SimulatedDFS,
+    n: int = 3000,
+    centers: int = 3,
+    dim: int = 3,
+    seed: int = 13,
+) -> str:
+    """Stage k-means points into a DFS; returns the path."""
+    path = "data/points"
+    dfs.put(path, generate_points(n, centers, dim, seed=seed))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Keyed tuples (Figure 5)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KeyedTuple:
+    """One record of the Figure 5 aggregation input."""
+
+    key: int
+    value: int
+    payload: str
+
+
+DISTRIBUTIONS = ("uniform", "gaussian", "pareto")
+
+#: fraction of all tuples assigned to the hot key under "pareto"
+PARETO_HOT_FRACTION = 0.35
+
+
+def generate_keyed_tuples(
+    n: int,
+    num_keys: int = 100,
+    distribution: str = "uniform",
+    seed: int = 17,
+) -> list[KeyedTuple]:
+    """Keyed tuples whose key frequencies follow the named distribution.
+
+    * ``uniform`` — keys drawn uniformly from ``num_keys``;
+    * ``gaussian`` — keys from a clipped normal centered mid-range
+      (moderately hot middle keys);
+    * ``pareto`` — ~35% of tuples land on key 0, the rest follow a
+      heavy-tailed rank distribution (the paper's skew case).
+    """
+    if distribution not in DISTRIBUTIONS:
+        raise ValueError(
+            f"distribution must be one of {DISTRIBUTIONS}, "
+            f"got {distribution!r}"
+        )
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        if distribution == "uniform":
+            key = rng.randrange(num_keys)
+        elif distribution == "gaussian":
+            key = int(rng.gauss(num_keys / 2, num_keys / 8))
+            key = max(0, min(num_keys - 1, key))
+        else:  # pareto
+            if rng.random() < PARETO_HOT_FRACTION:
+                key = 0
+            else:
+                # Heavy tail over the remaining ranks.
+                rank = int(rng.paretovariate(1.2))
+                key = 1 + (rank % (num_keys - 1))
+        payload = "".join(
+            rng.choice(string.ascii_letters)
+            for _ in range(rng.randint(3, 10))
+        )
+        out.append(
+            KeyedTuple(key=key, value=rng.randrange(1_000_000), payload=payload)
+        )
+    return out
+
+
+def stage_keyed_tuples(
+    dfs: SimulatedDFS,
+    n: int,
+    num_keys: int = 100,
+    distribution: str = "uniform",
+    seed: int = 17,
+) -> str:
+    """Stage Figure 5 input into a DFS; returns the path."""
+    path = f"data/tuples-{distribution}-{n}"
+    dfs.put(
+        path,
+        generate_keyed_tuples(n, num_keys, distribution, seed=seed),
+    )
+    return path

@@ -1,0 +1,128 @@
+"""Synthetic follower-graph generator (PageRank / Connected Components).
+
+The paper uses the Twitter follower graph of Cha et al. [12] (~2B
+edges).  That dataset is not available here, so this module generates a
+scale-free graph by **preferential attachment**: new vertices attach to
+existing ones with probability proportional to their current in-degree,
+producing the heavy-tailed degree distribution that makes follower
+graphs interesting for PageRank (a few very popular vertices).
+
+Vertices are emitted in adjacency-list form — ``Vertex(id, neighbors)``
+— the shape the PageRank and Connected Components programs consume.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.engines.dfs import SimulatedDFS
+
+
+@dataclass(frozen=True)
+class Vertex:
+    """A vertex with its out-neighbor adjacency list.
+
+    ``payload`` carries per-vertex metadata (profile data in a follower
+    graph); it inflates the record size without changing the topology,
+    which experiments use to control the read-vs-compute balance.
+    """
+
+    id: int
+    neighbors: tuple
+    payload: str = ""
+
+
+def generate_follower_graph(
+    num_vertices: int,
+    edges_per_vertex: int = 3,
+    seed: int = 23,
+    payload_chars: int = 0,
+) -> list[Vertex]:
+    """A scale-free directed graph via preferential attachment.
+
+    Every vertex gets ``edges_per_vertex`` out-edges; targets are chosen
+    preferentially by in-degree (plus one smoothing), yielding a
+    power-law in-degree distribution.  Self-loops are avoided; at least
+    one out-edge per vertex is guaranteed so PageRank mass never sinks.
+    """
+    if num_vertices < 2:
+        raise ValueError("need at least two vertices")
+    rng = random.Random(seed)
+    # Repeated-target list implements proportional sampling cheaply.
+    targets_pool: list[int] = [0, 1]
+    adjacency: dict[int, set[int]] = {i: set() for i in range(num_vertices)}
+    adjacency[0].add(1)
+    adjacency[1].add(0)
+    for v in range(2, num_vertices):
+        for _ in range(edges_per_vertex):
+            target = targets_pool[rng.randrange(len(targets_pool))]
+            if target == v:
+                target = (v + 1) % num_vertices
+            adjacency[v].add(target)
+            targets_pool.append(target)
+        targets_pool.append(v)
+    # Guarantee an out-edge for the seed vertices and any stragglers.
+    for v in range(num_vertices):
+        if not adjacency[v]:
+            adjacency[v].add((v + 1) % num_vertices)
+    payload = "x" * payload_chars
+    return [
+        Vertex(
+            id=v,
+            neighbors=tuple(sorted(adjacency[v])),
+            payload=payload,
+        )
+        for v in range(num_vertices)
+    ]
+
+
+def generate_component_graph(
+    num_vertices: int,
+    num_components: int = 4,
+    extra_edges: int = 2,
+    seed: int = 29,
+) -> list[Vertex]:
+    """An undirected graph with a known number of connected components.
+
+    Vertices are split round-robin into ``num_components`` groups; each
+    group is chained (guaranteeing connectivity) and then densified with
+    ``extra_edges`` random intra-group edges per vertex.  Adjacency
+    lists are symmetric, as Connected Components expects.
+    """
+    if num_components < 1 or num_vertices < num_components:
+        raise ValueError("invalid component configuration")
+    rng = random.Random(seed)
+    groups: list[list[int]] = [[] for _ in range(num_components)]
+    for v in range(num_vertices):
+        groups[v % num_components].append(v)
+    adjacency: dict[int, set[int]] = {v: set() for v in range(num_vertices)}
+    for members in groups:
+        for a, b in zip(members, members[1:]):
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        for v in members:
+            for _ in range(extra_edges):
+                w = rng.choice(members)
+                if w != v:
+                    adjacency[v].add(w)
+                    adjacency[w].add(v)
+    return [
+        Vertex(id=v, neighbors=tuple(sorted(adjacency[v])))
+        for v in range(num_vertices)
+    ]
+
+
+def stage_follower_graph(
+    dfs: SimulatedDFS,
+    num_vertices: int = 2000,
+    edges_per_vertex: int = 3,
+    seed: int = 23,
+) -> str:
+    """Stage a follower graph into a DFS; returns the path."""
+    path = f"data/graph-{num_vertices}"
+    dfs.put(
+        path,
+        generate_follower_graph(num_vertices, edges_per_vertex, seed),
+    )
+    return path

@@ -1,0 +1,111 @@
+"""A small immutable vector type for the numeric workloads.
+
+K-means carries point positions through folds (``sum`` of vectors, then
+a scalar division), so the vector type must:
+
+* be hashable and structurally comparable (records containing it live
+  in bags);
+* support ``vec + vec``, ``scalar * vec``, ``vec / scalar``;
+* absorb ``0 + vec`` (the generic ``sum`` fold starts from ``0``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator
+
+
+class Vec:
+    """An immutable, tuple-backed numeric vector."""
+
+    __slots__ = ("components",)
+
+    def __init__(self, components: Iterable[float]) -> None:
+        object.__setattr__(
+            self, "components", tuple(float(c) for c in components)
+        )
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Vec is immutable")
+
+    @staticmethod
+    def zeros(dim: int) -> "Vec":
+        return Vec((0.0,) * dim)
+
+    @staticmethod
+    def of(*components: float) -> "Vec":
+        return Vec(components)
+
+    # -- arithmetic ----------------------------------------------------
+
+    def __add__(self, other: "Vec") -> "Vec":
+        if not isinstance(other, Vec):
+            return NotImplemented
+        return Vec(a + b for a, b in zip(self.components, other.components))
+
+    def __radd__(self, other: object) -> "Vec":
+        # ``sum``-style folds start from 0; absorb it.
+        if other == 0:
+            return self
+        return NotImplemented  # type: ignore[return-value]
+
+    def __sub__(self, other: "Vec") -> "Vec":
+        if not isinstance(other, Vec):
+            return NotImplemented
+        return Vec(a - b for a, b in zip(self.components, other.components))
+
+    def __mul__(self, scalar: float) -> "Vec":
+        if not isinstance(scalar, (int, float)):
+            return NotImplemented
+        return Vec(a * scalar for a in self.components)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Vec":
+        if not isinstance(scalar, (int, float)):
+            return NotImplemented
+        return Vec(a / scalar for a in self.components)
+
+    # -- geometry -------------------------------------------------------
+
+    def dot(self, other: "Vec") -> float:
+        """The inner product with ``other``."""
+        return sum(
+            a * b for a, b in zip(self.components, other.components)
+        )
+
+    def norm(self) -> float:
+        """The Euclidean norm."""
+        return math.sqrt(self.dot(self))
+
+    def distance_to(self, other: "Vec") -> float:
+        """Euclidean distance to ``other``."""
+        return (self - other).norm()
+
+    def squared_distance_to(self, other: "Vec") -> float:
+        """Squared Euclidean distance (no sqrt; for argmin use)."""
+        diff = self - other
+        return diff.dot(diff)
+
+    # -- protocol --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.components)
+
+    def __getitem__(self, i: int) -> float:
+        return self.components[i]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vec):
+            return NotImplemented
+        return self.components == other.components
+
+    def __hash__(self) -> int:
+        return hash(("Vec", self.components))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{c:g}" for c in self.components)
+        return f"Vec({inner})"

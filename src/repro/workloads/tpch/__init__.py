@@ -1,0 +1,23 @@
+"""TPC-H workloads (paper Appendix A.2): Q1 and Q4 plus a generator.
+
+The paper runs Q1 and Q4 at scale factors 50 and 100 on the cluster;
+here a from-scratch generator produces schema-correct ``lineitem`` and
+``orders`` relations at laptop scale factors.  Q1 exercises fold-group
+fusion over six aggregates; Q4 additionally exercises exists-unnesting
+(the correlated ``EXISTS`` subquery becomes a semi-join).
+"""
+
+from repro.workloads.tpch.datagen import generate_tpch, stage_tpch
+from repro.workloads.tpch.q1 import Q1Result, tpch_q1
+from repro.workloads.tpch.q4 import tpch_q4
+from repro.workloads.tpch.schema import LineItem, Order
+
+__all__ = [
+    "generate_tpch",
+    "stage_tpch",
+    "Q1Result",
+    "tpch_q1",
+    "tpch_q4",
+    "LineItem",
+    "Order",
+]

@@ -1,0 +1,41 @@
+"""TPC-H Query 4 in Emma style (paper Appendix A.2.2, Listing 9).
+
+Count, per order priority, the orders in a date window that have at
+least one late line item (``commit_date < receipt_date``).  The
+``EXISTS`` is written declaratively as ``lineitems.exists(...)``; the
+**exists-unnesting** rule flattens it into a semi-join (the dataflow
+compiler then picks broadcast vs repartition), and the per-priority
+count is **fold-group fused** into an ``agg_by`` — both logical
+optimizations of Table 1 apply.
+"""
+
+from __future__ import annotations
+
+from repro.api import parallelize, read
+from repro.core.io import JsonLinesFormat
+from repro.workloads.tpch.schema import LineItem, Order
+
+_LINEITEM_FORMAT = JsonLinesFormat(LineItem)
+_ORDERS_FORMAT = JsonLinesFormat(Order)
+
+
+@parallelize
+def tpch_q4(orders_path, lineitem_path, date_min, date_max):
+    """Listing 9: the order priority checking query."""
+    lineitems = read(lineitem_path, _LINEITEM_FORMAT)
+    orders = read(orders_path, _ORDERS_FORMAT)
+    matching = (
+        o
+        for o in orders
+        if o.order_date >= date_min
+        if o.order_date < date_max
+        if lineitems.exists(
+            lambda li: li.order_key == o.order_key
+            and li.commit_date < li.receipt_date
+        )
+    )
+    result = (
+        (g.key, g.values.count())
+        for g in matching.group_by(lambda o: o.order_priority)
+    )
+    return result

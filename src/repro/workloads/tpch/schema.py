@@ -1,0 +1,45 @@
+"""TPC-H record schemas (the columns Q1 and Q4 touch).
+
+Dates are ISO-8601 strings — lexicographic comparison coincides with
+chronological comparison, which is exactly how the queries use them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LineItem:
+    """One ``lineitem`` row (Q1/Q4-relevant columns)."""
+
+    order_key: int
+    quantity: float
+    extended_price: float
+    discount: float
+    tax: float
+    return_flag: str
+    line_status: str
+    ship_date: str
+    commit_date: str
+    receipt_date: str
+
+
+@dataclass(frozen=True)
+class Order:
+    """One ``orders`` row (Q4-relevant columns)."""
+
+    order_key: int
+    order_date: str
+    order_priority: str
+
+
+RETURN_FLAGS = ("A", "N", "R")
+LINE_STATUSES = ("F", "O")
+ORDER_PRIORITIES = (
+    "1-URGENT",
+    "2-HIGH",
+    "3-MEDIUM",
+    "4-NOT SPECIFIED",
+    "5-LOW",
+)

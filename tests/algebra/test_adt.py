@@ -1,0 +1,176 @@
+"""Tests for bags as algebraic data types (paper Section 2.2.1)."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra.adt import (
+    Cons,
+    EmpIns,
+    EmpUnion,
+    Sng,
+    Uni,
+    bag_of_ins_tree,
+    bag_of_union_tree,
+    ins_of_union,
+    ins_tree_of,
+    trees_equivalent,
+    union_of_ins,
+    union_tree_of,
+    union_tree_of_partitions,
+)
+
+
+class TestInsertRepresentation:
+    def test_empty_tree(self):
+        tree = ins_tree_of([])
+        assert isinstance(tree, EmpIns)
+        assert list(tree) == []
+        assert len(tree) == 0
+
+    def test_singleton_tree(self):
+        tree = ins_tree_of([42])
+        assert isinstance(tree, Cons)
+        assert tree.head == 42
+        assert isinstance(tree.tail, EmpIns)
+
+    def test_iteration_order_is_insertion_order(self):
+        tree = ins_tree_of([2, 42])
+        assert list(tree) == [2, 42]
+
+    def test_len_counts_elements(self):
+        assert len(ins_tree_of([1, 1, 2])) == 3
+
+    def test_quotient_map_collapses_to_multiset(self):
+        assert bag_of_ins_tree(ins_tree_of([2, 42])) == Counter(
+            {2: 1, 42: 1}
+        )
+
+    def test_eq_comm_ins_identifies_permutations(self):
+        # cons 2 (cons 42 emp) == cons 42 (cons 2 emp) in the quotient.
+        a = ins_tree_of([2, 42])
+        b = ins_tree_of([42, 2])
+        assert a != b  # the trees themselves differ ...
+        assert bag_of_ins_tree(a) == bag_of_ins_tree(b)  # ... values agree
+
+    def test_duplicates_preserved(self):
+        assert bag_of_ins_tree(ins_tree_of([1, 1, 1])) == Counter(
+            {1: 3}
+        )
+
+
+class TestUnionRepresentation:
+    def test_empty(self):
+        tree = union_tree_of([])
+        assert isinstance(tree, EmpUnion)
+        assert list(tree) == []
+
+    def test_singleton(self):
+        tree = union_tree_of([7])
+        assert isinstance(tree, Sng)
+        assert list(tree) == [7]
+        assert len(tree) == 1
+
+    def test_two_elements_make_one_uni(self):
+        tree = union_tree_of([3, 5])
+        assert isinstance(tree, Uni)
+        assert bag_of_union_tree(tree) == Counter({3: 1, 5: 1})
+
+    def test_balanced_construction_is_logarithmic(self):
+        tree = union_tree_of(range(1024))
+
+        def depth(node) -> int:
+            if isinstance(node, Uni):
+                return 1 + max(depth(node.left), depth(node.right))
+            return 0
+
+        assert depth(tree) <= 11
+
+    def test_deep_tree_iteration_does_not_recurse(self):
+        # A left-deep spine of 10k uni nodes must iterate fine.
+        tree = EmpUnion()
+        for i in range(10_000):
+            tree = Uni(tree, Sng(i))
+        assert len(list(tree)) == 10_000
+
+    def test_partitioned_construction(self):
+        tree = union_tree_of_partitions([[3, 5], [7], []])
+        assert bag_of_union_tree(tree) == Counter({3: 1, 5: 1, 7: 1})
+
+    def test_partitioned_empty(self):
+        assert isinstance(union_tree_of_partitions([]), EmpUnion)
+
+
+class TestEquivalence:
+    def test_union_trees_equal_up_to_laws(self):
+        # (a uni b) uni c  ==  a uni (b uni c)  ==  c uni (b uni a)
+        a, b, c = Sng(1), Sng(2), Sng(3)
+        t1 = Uni(Uni(a, b), c)
+        t2 = Uni(a, Uni(b, c))
+        t3 = Uni(c, Uni(b, a))
+        assert trees_equivalent(t1, t2)
+        assert trees_equivalent(t2, t3)
+
+    def test_unit_law(self):
+        a = Sng(1)
+        assert trees_equivalent(Uni(a, EmpUnion()), a)
+        assert trees_equivalent(Uni(EmpUnion(), a), a)
+
+    def test_non_equivalent_trees(self):
+        assert not trees_equivalent(Sng(1), Sng(2))
+        assert not trees_equivalent(
+            union_tree_of([1, 1]), union_tree_of([1])
+        )
+
+    def test_cross_representation_equivalence(self):
+        assert trees_equivalent(
+            ins_tree_of([5, 3, 3]), union_tree_of([3, 5, 3])
+        )
+
+    def test_rejects_non_trees(self):
+        with pytest.raises(TypeError):
+            trees_equivalent([1, 2], Sng(1))
+
+
+class TestConversions:
+    def test_ins_to_union_round_trip(self):
+        tree = ins_tree_of([1, 2, 2, 3])
+        assert bag_of_union_tree(union_of_ins(tree)) == bag_of_ins_tree(
+            tree
+        )
+
+    def test_union_to_ins_round_trip(self):
+        tree = union_tree_of([9, 9, 1])
+        assert bag_of_ins_tree(ins_of_union(tree)) == bag_of_union_tree(
+            tree
+        )
+
+
+@given(st.lists(st.integers(), max_size=40))
+def test_union_tree_quotient_is_multiset(xs):
+    assert bag_of_union_tree(union_tree_of(xs)) == Counter(xs)
+
+
+@given(st.lists(st.integers(), max_size=40))
+def test_ins_tree_quotient_is_multiset(xs):
+    assert bag_of_ins_tree(ins_tree_of(xs)) == Counter(xs)
+
+
+@given(
+    st.lists(st.integers(), max_size=30),
+    st.randoms(use_true_random=False),
+)
+def test_permutations_yield_equivalent_trees(xs, rng):
+    shuffled = list(xs)
+    rng.shuffle(shuffled)
+    assert trees_equivalent(union_tree_of(xs), union_tree_of(shuffled))
+
+
+@given(st.lists(st.lists(st.integers(), max_size=10), max_size=6))
+def test_partitioning_never_changes_the_value(partitions):
+    flat = [x for p in partitions for x in p]
+    assert trees_equivalent(
+        union_tree_of_partitions(partitions), union_tree_of(flat)
+    )

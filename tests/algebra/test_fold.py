@@ -1,0 +1,180 @@
+"""Tests for structural recursion on bags (paper Section 2.2.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra.adt import Uni, ins_tree_of, union_tree_of
+from repro.algebra.fold import (
+    FoldAlgebra,
+    bag_algebra,
+    banana_split,
+    count_algebra,
+    exists_algebra,
+    fold_ins_tree,
+    fold_union_tree,
+    forall_algebra,
+    max_algebra,
+    min_algebra,
+    product_algebra,
+    sum_algebra,
+)
+
+
+class TestFoldAlgebra:
+    def test_sum_by_iteration(self):
+        assert sum_algebra()([3, 5, 7]) == 15
+
+    def test_sum_empty(self):
+        assert sum_algebra()([]) == 0
+
+    def test_mutable_zero_is_not_shared(self):
+        collect = FoldAlgebra(
+            zero=list,
+            singleton=lambda x: [x],
+            union=lambda a, b: a + b,
+            name="collect",
+        )
+        first = collect([1])
+        second = collect([2])
+        assert first == [1] and second == [2]
+
+    def test_merge_combines_partials(self):
+        algebra = sum_algebra()
+        partials = [algebra([1, 2]), algebra([3]), algebra([])]
+        assert algebra.merge(partials) == 6
+
+    def test_key_projection(self):
+        assert sum_algebra(key=lambda p: p[1])([("a", 1), ("b", 2)]) == 3
+
+
+class TestFoldUnionTree:
+    def test_substitution_semantics(self):
+        # The paper's worked example: sum of {{3, 5, 7}} via (0, id, +).
+        tree = union_tree_of([3, 5, 7])
+        assert fold_union_tree(sum_algebra(), tree) == 15
+
+    def test_empty_tree_gives_zero(self):
+        assert fold_union_tree(sum_algebra(), union_tree_of([])) == 0
+
+    def test_singleton(self):
+        assert fold_union_tree(count_algebra(), union_tree_of([9])) == 1
+
+    def test_deep_spine_no_recursion_error(self):
+        from repro.algebra.adt import EmpUnion, Sng
+
+        tree = EmpUnion()
+        for i in range(20_000):
+            tree = Uni(tree, Sng(1))
+        assert fold_union_tree(count_algebra(), tree) == 20_000
+
+    def test_distributed_evaluation_matches_local(self):
+        # Fold pushed below the partition-level uni nodes (the paper's
+        # "ship the partial sums zi instead of the partial bags" view).
+        from repro.algebra.adt import union_tree_of_partitions
+
+        partitions = [[3, 5], [7], [], [11, 13]]
+        tree = union_tree_of_partitions(partitions)
+        algebra = sum_algebra()
+        local = fold_union_tree(algebra, tree)
+        shipped = algebra.merge(algebra(p) for p in partitions)
+        assert local == shipped == 39
+
+
+class TestFoldInsTree:
+    def test_foldr_semantics(self):
+        tree = ins_tree_of([1, 2, 3])
+        assert fold_ins_tree(0, lambda x, acc: x + acc, tree) == 6
+
+    def test_empty(self):
+        assert fold_ins_tree(42, lambda x, acc: acc, ins_tree_of([])) == 42
+
+    def test_order_sensitive_step_sees_insertion_order(self):
+        # Insert representation folds need no commutativity — build a
+        # list to observe the order.
+        tree = ins_tree_of(["a", "b", "c"])
+        out = fold_ins_tree(
+            "", lambda x, acc: x + acc, tree
+        )
+        assert out == "abc"
+
+
+class TestCatalogue:
+    def test_count(self):
+        assert count_algebra()([5, 5, 5]) == 3
+
+    def test_min_max(self):
+        assert min_algebra()([4, 2, 9]) == 2
+        assert max_algebra()([4, 2, 9]) == 9
+
+    def test_min_empty_is_none(self):
+        assert min_algebra()([]) is None
+        assert max_algebra()([]) is None
+
+    def test_min_by_key(self):
+        assert min_algebra(key=lambda x: -x)([4, 2, 9]) == -9
+
+    def test_exists(self):
+        assert exists_algebra(lambda x: x > 8)([4, 2, 9]) is True
+        assert exists_algebra(lambda x: x > 80)([4, 2, 9]) is False
+        assert exists_algebra(lambda x: True)([]) is False
+
+    def test_forall(self):
+        assert forall_algebra(lambda x: x > 1)([4, 2, 9]) is True
+        assert forall_algebra(lambda x: x > 2)([4, 2, 9]) is False
+        assert forall_algebra(lambda x: False)([]) is True
+
+    def test_bag_algebra_rebuilds(self):
+        assert sorted(bag_algebra()([3, 1, 2])) == [1, 2, 3]
+
+
+class TestBananaSplit:
+    def test_tuple_of_folds_equals_fold_of_tuples(self):
+        xs = [3, 5, 7, 7]
+        separate = (
+            sum_algebra()(xs),
+            count_algebra()(xs),
+            min_algebra()(xs),
+        )
+        fused = banana_split(
+            [sum_algebra(), count_algebra(), min_algebra()]
+        )(xs)
+        assert fused == separate == (22, 4, 3)
+
+    def test_product_requires_an_algebra(self):
+        with pytest.raises(ValueError):
+            product_algebra([])
+
+    def test_product_merge(self):
+        algebra = product_algebra([sum_algebra(), count_algebra()])
+        partials = [algebra([1, 2]), algebra([3])]
+        assert algebra.merge(partials) == (6, 3)
+
+    def test_product_name(self):
+        algebra = product_algebra([sum_algebra(), count_algebra()])
+        assert algebra.name == "sumxcount"
+
+
+@given(st.lists(st.integers(), max_size=50))
+def test_fold_union_tree_matches_direct_application(xs):
+    tree = union_tree_of(xs)
+    assert fold_union_tree(sum_algebra(), tree) == sum(xs)
+    assert fold_union_tree(count_algebra(), tree) == len(xs)
+
+
+@given(
+    st.lists(st.integers(), max_size=30),
+    st.integers(min_value=1, max_value=5),
+)
+def test_partitioned_fold_equals_global_fold(xs, num_partitions):
+    algebra = sum_algebra()
+    partitions = [
+        xs[i::num_partitions] for i in range(num_partitions)
+    ]
+    assert algebra.merge(algebra(p) for p in partitions) == algebra(xs)
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=30))
+def test_banana_split_law(xs):
+    fused = banana_split([sum_algebra(), max_algebra()])(xs)
+    assert fused == (sum(xs), max(xs))

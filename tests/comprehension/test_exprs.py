@@ -1,0 +1,327 @@
+"""Tests for the lifted expression language."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.comprehension.exprs import (
+    AggByCall,
+    AlgebraSpec,
+    Attr,
+    BagLiteral,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Const,
+    DistinctCall,
+    Env,
+    FetchCall,
+    FilterCall,
+    FlatMapCall,
+    FoldCall,
+    GroupByCall,
+    IfElse,
+    Index,
+    Lambda,
+    ListExpr,
+    MapCall,
+    MinusCall,
+    PlusCall,
+    Ref,
+    TupleExpr,
+    UnaryOp,
+    evaluate,
+    free_vars,
+    substitute,
+    transform,
+    walk,
+)
+from repro.core.databag import DataBag
+from repro.errors import ComprehensionError
+
+
+@dataclass(frozen=True)
+class Rec:
+    a: int
+    b: str
+
+
+class TestEnv:
+    def test_lookup(self):
+        assert Env({"x": 1}).lookup("x") == 1
+
+    def test_unbound_raises(self):
+        with pytest.raises(ComprehensionError, match="unbound"):
+            Env({}).lookup("missing")
+
+    def test_child_shadows(self):
+        env = Env({"x": 1}).child({"x": 2})
+        assert env.lookup("x") == 2
+
+    def test_contains(self):
+        assert "x" in Env({"x": None})
+        assert "y" not in Env({"x": None})
+
+    def test_of_idempotent(self):
+        env = Env({"x": 1})
+        assert Env.of(env) is env
+
+
+class TestScalarEvaluation:
+    def test_const(self):
+        assert evaluate(Const(42)) == 42
+
+    def test_ref(self):
+        assert evaluate(Ref("x"), {"x": "hi"}) == "hi"
+
+    def test_attr(self):
+        assert evaluate(Attr(Ref("r"), "a"), {"r": Rec(5, "z")}) == 5
+
+    def test_index(self):
+        assert evaluate(Index(Ref("t"), Const(1)), {"t": (7, 8)}) == 8
+
+    def test_tuple_and_list(self):
+        assert evaluate(TupleExpr((Const(1), Const(2)))) == (1, 2)
+        assert evaluate(ListExpr((Const(1),))) == [1]
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("+", 7), ("-", 3), ("*", 10), ("/", 2.5), ("//", 2), ("%", 1), ("**", 25)],
+    )
+    def test_binops(self, op, expected):
+        assert evaluate(BinOp(op, Const(5), Const(2))) == expected
+
+    def test_unary(self):
+        assert evaluate(UnaryOp("-", Const(5))) == -5
+        assert evaluate(UnaryOp("not", Const(False))) is True
+
+    def test_unknown_unary_raises(self):
+        with pytest.raises(ComprehensionError):
+            evaluate(UnaryOp("~", Const(5)))
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("==", False),
+            ("!=", True),
+            ("<", True),
+            ("<=", True),
+            (">", False),
+            (">=", False),
+        ],
+    )
+    def test_compare(self, op, expected):
+        assert evaluate(Compare(op, Const(1), Const(2))) is expected
+
+    def test_in(self):
+        assert evaluate(Compare("in", Const(1), Const((1, 2)))) is True
+        assert evaluate(Compare("not in", Const(9), Const((1, 2)))) is True
+
+    def test_boolop_short_circuits(self):
+        calls = []
+
+        def boom():
+            calls.append(1)
+            return True
+
+        expr = BoolOp("and", (Const(False), Call(Const(boom))))
+        assert evaluate(expr) is False
+        assert not calls
+        expr = BoolOp("or", (Const(True), Call(Const(boom))))
+        assert evaluate(expr) is True
+        assert not calls
+
+    def test_ifelse(self):
+        expr = IfElse(Ref("c"), Const("yes"), Const("no"))
+        assert evaluate(expr, {"c": True}) == "yes"
+        assert evaluate(expr, {"c": False}) == "no"
+
+    def test_call_with_kwargs(self):
+        expr = Call(
+            Const(Rec), args=(Const(1),), kwargs=(("b", Const("x")),)
+        )
+        assert evaluate(expr) == Rec(1, "x")
+
+    def test_lambda_closure(self):
+        fn = evaluate(
+            Lambda(("x",), BinOp("+", Ref("x"), Ref("y"))), {"y": 10}
+        )
+        assert fn(5) == 15
+
+    def test_lambda_arity_checked(self):
+        fn = evaluate(Lambda(("x",), Ref("x")))
+        with pytest.raises(ComprehensionError):
+            fn(1, 2)
+
+
+class TestBagOperatorEvaluation:
+    def test_map(self):
+        expr = MapCall(Ref("xs"), Lambda(("x",), BinOp("*", Ref("x"), Const(2))))
+        assert evaluate(expr, {"xs": DataBag([1, 2])}) == DataBag([2, 4])
+
+    def test_flat_map(self):
+        expr = FlatMapCall(
+            Ref("xs"), Lambda(("x",), TupleExpr((Ref("x"), Ref("x"))))
+        )
+        assert evaluate(expr, {"xs": DataBag([1])}) == DataBag([1, 1])
+
+    def test_filter(self):
+        expr = FilterCall(
+            Ref("xs"), Lambda(("x",), Compare(">", Ref("x"), Const(1)))
+        )
+        assert evaluate(expr, {"xs": DataBag([1, 2, 3])}) == DataBag([2, 3])
+
+    def test_group_by(self):
+        expr = GroupByCall(
+            Ref("xs"), Lambda(("x",), BinOp("%", Ref("x"), Const(2)))
+        )
+        groups = evaluate(expr, {"xs": DataBag([1, 2, 3])})
+        assert {g.key for g in groups} == {0, 1}
+
+    def test_fold_aliases(self):
+        env = {"xs": DataBag([3, 1, 2])}
+        assert evaluate(FoldCall(Ref("xs"), AlgebraSpec("sum")), env) == 6
+        assert evaluate(FoldCall(Ref("xs"), AlgebraSpec("count")), env) == 3
+        assert evaluate(FoldCall(Ref("xs"), AlgebraSpec("min")), env) == 1
+        assert (
+            evaluate(FoldCall(Ref("xs"), AlgebraSpec("is_empty")), env)
+            is False
+        )
+
+    def test_fold_generic(self):
+        spec = AlgebraSpec(
+            "fold",
+            (
+                Const(0),
+                Lambda(("x",), Const(1)),
+                Lambda(("a", "b"), BinOp("+", Ref("a"), Ref("b"))),
+            ),
+        )
+        assert (
+            evaluate(FoldCall(Ref("xs"), spec), {"xs": DataBag([7, 8])})
+            == 2
+        )
+
+    def test_min_by_with_env_dependent_key(self):
+        spec = AlgebraSpec(
+            "min_by",
+            (Lambda(("c",), Call(Ref("dist"), (Ref("c"),))),),
+        )
+        env = {
+            "xs": DataBag([1, 5, 3]),
+            "dist": lambda c: abs(c - 4),
+        }
+        assert evaluate(FoldCall(Ref("xs"), spec), env) == 5
+
+    def test_plus_minus_distinct(self):
+        env = {"a": DataBag([1, 2]), "b": DataBag([2])}
+        assert evaluate(PlusCall(Ref("a"), Ref("b")), env) == DataBag(
+            [1, 2, 2]
+        )
+        assert evaluate(MinusCall(Ref("a"), Ref("b")), env) == DataBag([1])
+        assert evaluate(
+            DistinctCall(PlusCall(Ref("a"), Ref("b"))), env
+        ) == DataBag([1, 2])
+
+    def test_bag_literal_and_fetch(self):
+        assert evaluate(BagLiteral(Const([1, 2]))) == DataBag([1, 2])
+        assert sorted(
+            evaluate(FetchCall(Ref("xs")), {"xs": DataBag([2, 1])})
+        ) == [1, 2]
+
+    def test_bag_op_on_non_bag_raises(self):
+        expr = MapCall(Ref("xs"), Lambda(("x",), Ref("x")))
+        with pytest.raises(ComprehensionError, match="DataBag"):
+            evaluate(expr, {"xs": 42})
+
+    def test_agg_by(self):
+        expr = AggByCall(
+            source=Ref("xs"),
+            key=Lambda(("x",), BinOp("%", Ref("x"), Const(2))),
+            specs=(AlgebraSpec("sum"), AlgebraSpec("count")),
+        )
+        result = {
+            r.key: r.aggs
+            for r in evaluate(expr, {"xs": DataBag([1, 2, 3, 4])})
+        }
+        assert result == {0: (6, 2), 1: (4, 2)}
+
+
+class TestAlgebraSpec:
+    def test_unknown_alias_rejected(self):
+        with pytest.raises(ComprehensionError, match="unknown fold"):
+            AlgebraSpec("frobnicate")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ComprehensionError, match="arguments"):
+            AlgebraSpec("sum", (Const(1),))
+
+    def test_fused_pipeline(self):
+        spec = AlgebraSpec("sum").fused_with(
+            "x",
+            BinOp("*", Ref("x"), Const(2)),
+            (Compare(">", Ref("x"), Const(1)),),
+        )
+        algebra = spec.make_algebra(Env({}))
+        assert algebra([1, 2, 3]) == 10  # (2+3)*2
+
+    def test_double_fusion_rejected(self):
+        spec = AlgebraSpec("sum").fused_with("x", Ref("x"), ())
+        with pytest.raises(ComprehensionError, match="already"):
+            spec.fused_with("y", Ref("y"), ())
+
+    def test_free_vars_respect_fused_binder(self):
+        spec = AlgebraSpec("sum").fused_with(
+            "x", BinOp("+", Ref("x"), Ref("outer")), ()
+        )
+        assert spec.free_vars() == frozenset({"outer"})
+
+
+class TestStructuralOperations:
+    def test_free_vars(self):
+        expr = BinOp("+", Ref("x"), Lambda(("y",), Ref("y")))
+        assert free_vars(expr) == frozenset({"x"})
+
+    def test_lambda_shadows(self):
+        expr = Lambda(("x",), BinOp("+", Ref("x"), Ref("z")))
+        assert free_vars(expr) == frozenset({"z"})
+
+    def test_substitute(self):
+        expr = BinOp("+", Ref("x"), Ref("y"))
+        out = substitute(expr, {"x": Const(1)})
+        assert evaluate(out, {"y": 2}) == 3
+
+    def test_substitute_respects_binders(self):
+        expr = Lambda(("x",), Ref("x"))
+        assert substitute(expr, {"x": Const(99)}) == expr
+
+    def test_substitution_avoids_capture(self):
+        # (\x -> x + y)[y := x]  must not capture the binder's x.
+        lam = Lambda(("x",), BinOp("+", Ref("x"), Ref("y")))
+        out = substitute(lam, {"y": Ref("x")})
+        fn = evaluate(out, {"x": 100})
+        assert fn(1) == 101  # param + outer x, not param + param
+
+    def test_walk_visits_all_nodes(self):
+        expr = BinOp("+", Ref("x"), Const(1))
+        kinds = [type(n).__name__ for n in walk(expr)]
+        assert kinds == ["BinOp", "Ref", "Const"]
+
+    def test_transform_bottom_up(self):
+        expr = BinOp("+", Const(1), Const(2))
+
+        def fold_consts(node):
+            if (
+                isinstance(node, BinOp)
+                and isinstance(node.left, Const)
+                and isinstance(node.right, Const)
+            ):
+                return Const(evaluate(node))
+            return node
+
+        assert transform(expr, fold_consts) == Const(3)
+
+    def test_rebuild_preserves_unchanged_nodes(self):
+        expr = BinOp("+", Ref("x"), Const(1))
+        assert expr.rebuild(lambda c: c) is expr

@@ -1,0 +1,301 @@
+"""Tests for comprehension normalization (paper Section 4.1)."""
+
+from dataclasses import dataclass
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.comprehension.exprs import (
+    AlgebraSpec,
+    Attr,
+    BinOp,
+    BoolOp,
+    Compare,
+    Const,
+    FilterCall,
+    FlatMapCall,
+    FoldCall,
+    Lambda,
+    MapCall,
+    Ref,
+    evaluate,
+)
+from repro.comprehension.ir import (
+    Comprehension,
+    Flatten,
+    GenMode,
+)
+from repro.comprehension.normalize import NormalizeStats, normalize
+from repro.comprehension.resugar import resugar
+from repro.core.databag import DataBag
+
+
+@dataclass(frozen=True)
+class E:
+    ip: int
+
+
+def _normalized(expr, unnest_exists=True):
+    stats = NormalizeStats()
+    out = normalize(resugar(expr), unnest_exists=unnest_exists, stats=stats)
+    return out, stats
+
+
+class TestGeneratorUnnesting:
+    def test_map_map_fuses_into_one_comprehension(self):
+        chain = MapCall(
+            MapCall(Ref("xs"), Lambda(("x",), BinOp("+", Ref("x"), Const(1)))),
+            Lambda(("y",), BinOp("*", Ref("y"), Const(2))),
+        )
+        out, stats = _normalized(chain)
+        assert isinstance(out, Comprehension)
+        assert len(out.generators()) == 1
+        assert stats.generator_unnests >= 1
+        assert evaluate(out, {"xs": DataBag([1, 2])}) == DataBag([4, 6])
+
+    def test_filter_map_chain_fuses(self):
+        chain = FoldCall(
+            FilterCall(
+                MapCall(
+                    Ref("xs"),
+                    Lambda(("x",), BinOp("*", Ref("x"), Const(3))),
+                ),
+                Lambda(("y",), Compare(">", Ref("y"), Const(3))),
+            ),
+            AlgebraSpec("sum"),
+        )
+        out, _ = _normalized(chain)
+        assert isinstance(out, Comprehension)
+        assert len(out.generators()) == 1
+        assert evaluate(out, {"xs": DataBag([1, 2, 3])}) == 15
+
+    def test_fusion_substitutes_into_guards(self):
+        # filter(p) over map(f): the guard must mention f(x).
+        chain = FilterCall(
+            MapCall(Ref("xs"), Lambda(("x",), BinOp("+", Ref("x"), Const(1)))),
+            Lambda(("y",), Compare("==", Ref("y"), Const(3))),
+        )
+        out, _ = _normalized(chain)
+        assert evaluate(out, {"xs": DataBag([1, 2, 3])}) == DataBag([3])
+
+
+class TestHeadUnnesting:
+    def test_flat_map_of_map_flattens(self):
+        # xs.flat_map(x => ys.map(y => (x, y)))  — a cross product.
+        chain = FlatMapCall(
+            Ref("xs"),
+            Lambda(
+                ("x",),
+                MapCall(
+                    Ref("ys"),
+                    Lambda(("y",), BinOp("+", Ref("x"), Ref("y"))),
+                ),
+            ),
+        )
+        out, stats = _normalized(chain)
+        assert isinstance(out, Comprehension)
+        assert not isinstance(out, Flatten)
+        assert len(out.generators()) == 2
+        assert stats.head_unnests >= 1
+        env = {"xs": DataBag([1, 2]), "ys": DataBag([10])}
+        assert evaluate(out, env) == DataBag([11, 12])
+
+    def test_flat_map_of_bare_bag_reference(self):
+        chain = FlatMapCall(Ref("xs"), Lambda(("x",), Ref("ys")))
+        out, _ = _normalized(chain)
+        assert isinstance(out, Comprehension)
+        env = {"xs": DataBag([1, 2]), "ys": DataBag([7])}
+        assert evaluate(out, env) == DataBag([7, 7])
+
+    def test_join_pattern_from_nested_chains(self):
+        # The paper's desugared `distances` expression shape.
+        chain = FlatMapCall(
+            Ref("xs"),
+            Lambda(
+                ("x",),
+                MapCall(
+                    FilterCall(
+                        Ref("ys"),
+                        Lambda(
+                            ("y",), Compare("==", Ref("x"), Ref("y"))
+                        ),
+                    ),
+                    Lambda(("y",), Ref("y")),
+                ),
+            ),
+        )
+        out, _ = _normalized(chain)
+        assert isinstance(out, Comprehension)
+        assert len(out.generators()) == 2
+        assert len(out.guards()) == 1
+
+
+class TestExistsUnnesting:
+    def _exists_filter(self, negate=False):
+        pred = Lambda(
+            ("b",),
+            Compare("==", Attr(Ref("b"), "ip"), Attr(Ref("e"), "ip")),
+        )
+        body = FoldCall(Ref("bl"), AlgebraSpec("exists", (pred,)))
+        if negate:
+            from repro.comprehension.exprs import UnaryOp
+
+            body = UnaryOp("not", body)
+        return FilterCall(Ref("emails"), Lambda(("e",), body))
+
+    def test_exists_becomes_exists_generator(self):
+        out, stats = _normalized(self._exists_filter())
+        assert stats.exists_unnests == 1
+        modes = [g.mode for g in out.generators()]
+        assert GenMode.EXISTS in modes
+
+    def test_not_exists_becomes_anti_generator(self):
+        out, stats = _normalized(self._exists_filter(negate=True))
+        assert stats.exists_unnests == 1
+        modes = [g.mode for g in out.generators()]
+        assert GenMode.NOT_EXISTS in modes
+
+    def test_toggle_keeps_guard(self):
+        out, stats = _normalized(
+            self._exists_filter(), unnest_exists=False
+        )
+        assert stats.exists_unnests == 0
+        assert len(out.generators()) == 1  # only the email generator
+
+    def test_semantics_preserved_both_ways(self):
+        env = {
+            "emails": DataBag([E(1), E(2), E(2), E(3)]),
+            "bl": DataBag([E(2), E(9)]),
+        }
+        unnested, _ = _normalized(self._exists_filter())
+        guarded, _ = _normalized(
+            self._exists_filter(), unnest_exists=False
+        )
+        assert (
+            evaluate(unnested, env)
+            == evaluate(guarded, env)
+            == DataBag([E(2), E(2)])
+        )
+
+    def test_conjunctive_predicate_splits(self):
+        # exists(b -> b.ip == e.ip and b.ip > 0) — the inner-only
+        # conjunct becomes a pushable guard.
+        pred = Lambda(
+            ("b",),
+            BoolOp(
+                "and",
+                (
+                    Compare(
+                        "==",
+                        Attr(Ref("b"), "ip"),
+                        Attr(Ref("e"), "ip"),
+                    ),
+                    Compare(">", Attr(Ref("b"), "ip"), Const(0)),
+                ),
+            ),
+        )
+        expr = FilterCall(
+            Ref("emails"),
+            Lambda(
+                ("e",),
+                FoldCall(Ref("bl"), AlgebraSpec("exists", (pred,))),
+            ),
+        )
+        out, stats = _normalized(expr)
+        assert stats.exists_unnests == 1
+        assert len(out.guards()) == 2
+        env = {
+            "emails": DataBag([E(0), E(2)]),
+            "bl": DataBag([E(0), E(2)]),
+        }
+        assert evaluate(out, env) == DataBag([E(2)])
+
+    def test_non_equi_exists_not_unnested(self):
+        # exists with only an inequality cannot become a semi-join.
+        pred = Lambda(
+            ("b",),
+            Compare("<", Attr(Ref("b"), "ip"), Attr(Ref("e"), "ip")),
+        )
+        expr = FilterCall(
+            Ref("emails"),
+            Lambda(
+                ("e",),
+                FoldCall(Ref("bl"), AlgebraSpec("exists", (pred,))),
+            ),
+        )
+        out, stats = _normalized(expr)
+        assert stats.exists_unnests == 0
+        env = {
+            "emails": DataBag([E(1), E(5)]),
+            "bl": DataBag([E(3)]),
+        }
+        assert evaluate(out, env) == DataBag([E(5)])
+
+
+class TestFixpointAndSafety:
+    def test_long_chain_reaches_single_comprehension(self):
+        expr = Ref("xs")
+        for i in range(6):
+            expr = MapCall(
+                expr, Lambda(("x",), BinOp("+", Ref("x"), Const(1)))
+            )
+        out, stats = _normalized(expr)
+        assert isinstance(out, Comprehension)
+        assert len(out.generators()) == 1
+        assert stats.generator_unnests == 5
+        assert evaluate(out, {"xs": DataBag([0])}) == DataBag([6])
+
+    def test_variable_names_do_not_collide(self):
+        # Inner and outer lambdas deliberately reuse the name `x`.
+        chain = FlatMapCall(
+            Ref("xs"),
+            Lambda(
+                ("x",),
+                MapCall(
+                    Ref("ys"),
+                    Lambda(("x",), BinOp("*", Ref("x"), Const(2))),
+                ),
+            ),
+        )
+        out, _ = _normalized(chain)
+        env = {"xs": DataBag([1, 2]), "ys": DataBag([5])}
+        assert evaluate(out, env) == DataBag([10, 10])
+
+    def test_normalize_is_idempotent(self):
+        chain = FilterCall(
+            MapCall(Ref("xs"), Lambda(("x",), Ref("x"))),
+            Lambda(("y",), Compare(">", Ref("y"), Const(0))),
+        )
+        once, _ = _normalized(chain)
+        stats = NormalizeStats()
+        twice = normalize(once, stats=stats)
+        assert twice == once
+        assert stats.total() == 0
+
+
+@given(st.lists(st.integers(min_value=-20, max_value=20), max_size=20))
+def test_normalization_preserves_semantics_map_filter(xs):
+    chain = FilterCall(
+        MapCall(Ref("xs"), Lambda(("x",), BinOp("*", Ref("x"), Const(2)))),
+        Lambda(("y",), Compare(">", Ref("y"), Const(0))),
+    )
+    env = {"xs": DataBag(xs)}
+    out, _ = _normalized(chain)
+    assert evaluate(out, env) == evaluate(chain, env)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=5), max_size=15),
+    st.lists(st.integers(min_value=0, max_value=5), max_size=10),
+)
+def test_exists_unnesting_preserves_semantics(emails, blacklist):
+    pred = Lambda(("b",), Compare("==", Ref("b"), Ref("e")))
+    expr = FilterCall(
+        Ref("emails"),
+        Lambda(
+            ("e",), FoldCall(Ref("bl"), AlgebraSpec("exists", (pred,)))
+        ),
+    )
+    env = {"emails": DataBag(emails), "bl": DataBag(blacklist)}
+    out, _ = _normalized(expr)
+    assert evaluate(out, env) == evaluate(expr, env)

@@ -1,0 +1,124 @@
+"""Property tests: normalization invariants over generated chains."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comprehension.exprs import (
+    AlgebraSpec,
+    BinOp,
+    Compare,
+    Const,
+    FilterCall,
+    FlatMapCall,
+    FoldCall,
+    Lambda,
+    MapCall,
+    Ref,
+    evaluate,
+)
+from repro.comprehension.ir import Comprehension, Flatten
+from repro.comprehension.normalize import NormalizeStats, normalize
+from repro.comprehension.resugar import resugar
+from repro.core.databag import DataBag
+
+# Random monad-operator chains over a single source bag.
+
+
+def _map_stage(expr, k):
+    return MapCall(
+        expr, Lambda(("x",), BinOp("+", Ref("x"), Const(k)))
+    )
+
+
+def _filter_stage(expr, k):
+    return FilterCall(
+        expr, Lambda(("x",), Compare(">", Ref("x"), Const(k)))
+    )
+
+
+def _flat_map_stage(expr, _k):
+    # x -> the two-element bag {x, x+100} via a nested chain.
+    return FlatMapCall(
+        expr,
+        Lambda(
+            ("x",),
+            MapCall(
+                Ref("seeds"),
+                Lambda(("s",), BinOp("+", Ref("s"), Ref("x"))),
+            ),
+        ),
+    )
+
+
+_STAGES = (_map_stage, _filter_stage, _flat_map_stage)
+
+chains = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(_STAGES) - 1),
+        st.integers(min_value=-5, max_value=5),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+bags = st.lists(st.integers(min_value=-20, max_value=20), max_size=15)
+
+
+def build(chain):
+    expr = Ref("xs")
+    for idx, k in chain:
+        expr = _STAGES[idx](expr, k)
+    return expr
+
+
+@settings(max_examples=60, deadline=None)
+@given(chains, bags, bags)
+def test_normalization_preserves_semantics(chain, xs, seeds):
+    expr = build(chain)
+    env = {"xs": DataBag(xs), "seeds": DataBag(seeds)}
+    normalized = normalize(resugar(expr))
+    assert evaluate(normalized, env) == evaluate(expr, env)
+
+
+@settings(max_examples=60, deadline=None)
+@given(chains, bags, bags)
+def test_normalization_preserves_free_variables(chain, xs, seeds):
+    expr = build(chain)
+    normalized = normalize(resugar(expr))
+    assert normalized.free_vars() == expr.free_vars()
+
+
+@settings(max_examples=60, deadline=None)
+@given(chains)
+def test_normalization_is_idempotent(chain):
+    expr = normalize(resugar(build(chain)))
+    stats = NormalizeStats()
+    again = normalize(expr, stats=stats)
+    assert again == expr
+    assert stats.total() == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(chains)
+def test_pure_map_filter_chains_collapse_to_one_comprehension(chain):
+    # Without flat_map stages, the fixpoint is a single flat
+    # comprehension over the source.
+    pure = [(i, k) for i, k in chain if i != 2]
+    if not pure:
+        return
+    normalized = normalize(resugar(build(pure)))
+    assert isinstance(normalized, Comprehension)
+    assert not isinstance(normalized, Flatten)
+    (gen,) = normalized.generators()
+    assert gen.source == Ref("xs")
+
+
+@settings(max_examples=40, deadline=None)
+@given(chains, bags, bags)
+def test_terminal_fold_normalization_preserves_semantics(
+    chain, xs, seeds
+):
+    expr = FoldCall(build(chain), AlgebraSpec("sum"))
+    env = {"xs": DataBag(xs), "seeds": DataBag(seeds)}
+    normalized = normalize(resugar(expr))
+    assert evaluate(normalized, env) == evaluate(expr, env)

@@ -1,0 +1,110 @@
+"""Tests for the MC⁻¹ resugaring scheme (paper Section 4.1)."""
+
+from repro.comprehension.exprs import (
+    AlgebraSpec,
+    BinOp,
+    Compare,
+    Const,
+    FilterCall,
+    FlatMapCall,
+    FoldCall,
+    GroupByCall,
+    Lambda,
+    MapCall,
+    Ref,
+    evaluate,
+)
+from repro.comprehension.ir import (
+    BAG,
+    Comprehension,
+    Flatten,
+    FoldKind,
+    Guard,
+)
+from repro.comprehension.resugar import resugar
+from repro.core.databag import DataBag
+
+
+def double():
+    return Lambda(("x",), BinOp("*", Ref("x"), Const(2)))
+
+
+def positive():
+    return Lambda(("x",), Compare(">", Ref("x"), Const(0)))
+
+
+class TestRules:
+    def test_map_rule(self):
+        out = resugar(MapCall(Ref("xs"), double()))
+        assert isinstance(out, Comprehension)
+        assert out.kind is BAG
+        (gen,) = out.generators()
+        assert gen.source == Ref("xs")
+        assert not out.guards()
+
+    def test_with_filter_rule(self):
+        out = resugar(FilterCall(Ref("xs"), positive()))
+        assert isinstance(out, Comprehension)
+        (gen,) = out.generators()
+        # Head is the bound variable itself; the predicate is a guard.
+        assert out.head == Ref(gen.var)
+        assert len(out.guards()) == 1
+
+    def test_flat_map_rule_wraps_in_flatten(self):
+        out = resugar(
+            FlatMapCall(Ref("xs"), Lambda(("x",), Ref("x")))
+        )
+        assert isinstance(out, Flatten)
+        assert isinstance(out.source, Comprehension)
+
+    def test_fold_rule(self):
+        out = resugar(FoldCall(Ref("xs"), AlgebraSpec("sum")))
+        assert isinstance(out, Comprehension)
+        assert isinstance(out.kind, FoldKind)
+        assert out.kind.spec.alias == "sum"
+
+    def test_chain_resugars_nested(self):
+        chain = FilterCall(MapCall(Ref("xs"), double()), positive())
+        out = resugar(chain)
+        assert isinstance(out, Comprehension)
+        (gen,) = out.generators()
+        assert isinstance(gen.source, Comprehension)
+
+    def test_group_by_source_untouched_but_inner_resugared(self):
+        expr = GroupByCall(
+            MapCall(Ref("xs"), double()), Lambda(("x",), Ref("x"))
+        )
+        out = resugar(expr)
+        assert isinstance(out, GroupByCall)
+        assert isinstance(out.source, Comprehension)
+
+    def test_non_chain_nodes_untouched(self):
+        assert resugar(Ref("xs")) == Ref("xs")
+
+
+class TestSemanticPreservation:
+    def test_map_filter_chain(self):
+        chain = FilterCall(MapCall(Ref("xs"), double()), positive())
+        env = {"xs": DataBag([-2, 1, 3])}
+        assert evaluate(resugar(chain), env) == evaluate(chain, env)
+
+    def test_fold_over_chain(self):
+        chain = FoldCall(
+            MapCall(Ref("xs"), double()), AlgebraSpec("sum")
+        )
+        env = {"xs": DataBag([1, 2, 3])}
+        assert evaluate(resugar(chain), env) == evaluate(chain, env) == 12
+
+    def test_flat_map_chain(self):
+        chain = FlatMapCall(
+            Ref("xs"),
+            Lambda(("x",), MapCall(Ref("ys"), double())),
+        )
+        env = {"xs": DataBag([1, 2]), "ys": DataBag([5])}
+        assert evaluate(resugar(chain), env) == evaluate(chain, env)
+
+    def test_lambda_body_becomes_head_with_param_renamed_consistently(self):
+        out = resugar(MapCall(Ref("xs"), double()))
+        (gen,) = out.generators()
+        # The head references exactly the generator variable.
+        assert out.head.free_vars() == frozenset({gen.var})

@@ -1,0 +1,101 @@
+"""Tests for DataBag I/O formats."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.databag import DataBag
+from repro.core.io import (
+    CsvFormat,
+    JsonLinesFormat,
+    read_csv,
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+)
+from repro.errors import EmmaError
+
+
+@dataclass(frozen=True)
+class Row:
+    id: int
+    score: float
+    name: str
+    active: bool
+
+
+@dataclass(frozen=True)
+class Nested:
+    id: int
+    values: list
+
+
+class TestCsvFormat:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        fmt = CsvFormat(Row)
+        bag = DataBag(
+            [Row(1, 0.5, "a", True), Row(2, -1.25, "b", False)]
+        )
+        write_csv(path, fmt, bag)
+        assert read_csv(path, fmt) == bag
+
+    def test_header_written(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        fmt = CsvFormat(Row)
+        write_csv(path, fmt, DataBag([Row(1, 1.0, "x", True)]))
+        header = path.read_text().splitlines()[0]
+        assert header == "id,score,name,active"
+
+    def test_bool_parsing_variants(self):
+        fmt = CsvFormat(Row)
+        row = fmt.parse_row(
+            {"id": "1", "score": "2.0", "name": "n", "active": "1"}
+        )
+        assert row.active is True
+        row = fmt.parse_row(
+            {"id": "1", "score": "2.0", "name": "n", "active": "no"}
+        )
+        assert row.active is False
+
+    def test_unsupported_field_type_rejected(self):
+        with pytest.raises(EmmaError, match="unsupported"):
+            CsvFormat(Nested)
+
+    def test_fieldless_type_rejected(self):
+        class Empty:
+            pass
+
+        with pytest.raises(EmmaError, match="no fields"):
+            CsvFormat(Empty)
+
+    def test_field_names(self):
+        assert CsvFormat(Row).field_names == [
+            "id",
+            "score",
+            "name",
+            "active",
+        ]
+
+
+class TestJsonLinesFormat:
+    def test_round_trip_with_nested_fields(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        fmt = JsonLinesFormat(Nested)
+        bag = DataBag([Nested(1, [1, 2]), Nested(2, [])])
+        write_jsonl(path, fmt, bag)
+        assert read_jsonl(path, fmt) == bag
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text('{"id": 1, "values": []}\n\n')
+        assert len(read_jsonl(path, JsonLinesFormat(Nested))) == 1
+
+    def test_one_object_per_line(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        write_jsonl(
+            path,
+            JsonLinesFormat(Nested),
+            DataBag([Nested(1, []), Nested(2, [3])]),
+        )
+        assert len(path.read_text().strip().splitlines()) == 2

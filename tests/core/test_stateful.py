@@ -1,0 +1,198 @@
+"""Tests for StatefulBag (paper Section 3.1, "Stateful Bags")."""
+
+from dataclasses import dataclass, replace
+
+import pytest
+
+from repro.core.databag import DataBag
+from repro.core.stateful import StatefulBag
+from repro.errors import EmmaError
+
+
+@dataclass(frozen=True)
+class State:
+    id: int
+    value: int
+
+
+@dataclass(frozen=True)
+class Keyed:
+    key: str
+    value: int
+
+
+@dataclass(frozen=True)
+class Message:
+    id: int
+    delta: int
+
+
+def make_state(*pairs) -> StatefulBag:
+    return StatefulBag(DataBag(State(i, v) for i, v in pairs))
+
+
+class TestConstruction:
+    def test_from_databag(self):
+        state = make_state((1, 10), (2, 20))
+        assert len(state) == 2
+        assert state.get(1) == State(1, 10)
+
+    def test_key_attribute_preferred_over_id(self):
+        state = StatefulBag(DataBag([Keyed("a", 1)]))
+        assert state.get("a") == Keyed("a", 1)
+
+    def test_explicit_key_function(self):
+        state = StatefulBag(
+            DataBag([(5, "x")]), key=lambda t: t[0]
+        )
+        assert state.get(5) == (5, "x")
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(EmmaError, match="duplicate key"):
+            make_state((1, 10), (1, 20))
+
+    def test_elements_without_key_rejected(self):
+        with pytest.raises(EmmaError, match="key"):
+            StatefulBag(DataBag([(1, 2)]))
+
+    def test_contains(self):
+        state = make_state((1, 10))
+        assert 1 in state
+        assert 2 not in state
+
+
+class TestSnapshot:
+    def test_bag_returns_current_state(self):
+        state = make_state((1, 10), (2, 20))
+        assert state.bag() == DataBag([State(1, 10), State(2, 20)])
+
+    def test_bag_is_a_snapshot(self):
+        state = make_state((1, 10))
+        snapshot = state.bag()
+        state.update(lambda s: replace(s, value=99))
+        assert snapshot == DataBag([State(1, 10)])
+
+
+class TestPointwiseUpdate:
+    def test_update_all(self):
+        state = make_state((1, 10), (2, 20))
+        delta = state.update(lambda s: replace(s, value=s.value + 1))
+        assert delta == DataBag([State(1, 11), State(2, 21)])
+        assert state.get(1) == State(1, 11)
+
+    def test_update_none_means_no_change(self):
+        state = make_state((1, 10), (2, 20))
+        delta = state.update(
+            lambda s: replace(s, value=0) if s.id == 1 else None
+        )
+        assert delta == DataBag([State(1, 0)])
+        assert state.get(2) == State(2, 20)
+
+    def test_update_must_preserve_key(self):
+        state = make_state((1, 10))
+        with pytest.raises(EmmaError, match="preserve"):
+            state.update(lambda s: State(99, s.value))
+
+    def test_update_empty_delta(self):
+        state = make_state((1, 10))
+        assert state.update(lambda s: None) == DataBag.empty()
+
+
+class TestMessageUpdate:
+    def test_messages_route_by_key(self):
+        state = make_state((1, 10), (2, 20))
+        delta = state.update_with_messages(
+            DataBag([Message(1, 5)]),
+            lambda s, m: replace(s, value=s.value + m.delta),
+        )
+        assert delta == DataBag([State(1, 15)])
+        assert state.get(2) == State(2, 20)
+
+    def test_messages_to_unknown_keys_dropped(self):
+        state = make_state((1, 10))
+        delta = state.update_with_messages(
+            DataBag([Message(42, 1)]),
+            lambda s, m: replace(s, value=0),
+        )
+        assert delta == DataBag.empty()
+
+    def test_multiple_messages_apply_in_sequence(self):
+        state = make_state((1, 0))
+        delta = state.update_with_messages(
+            DataBag([Message(1, 3), Message(1, 4)]),
+            lambda s, m: replace(s, value=s.value + m.delta),
+        )
+        # The element appears once in the delta, with its final value.
+        assert delta == DataBag([State(1, 7)])
+
+    def test_update_fn_may_decline(self):
+        state = make_state((1, 10))
+        delta = state.update_with_messages(
+            DataBag([Message(1, -5)]),
+            lambda s, m: (
+                replace(s, value=s.value + m.delta)
+                if m.delta > 0
+                else None
+            ),
+        )
+        assert delta == DataBag.empty()
+        assert state.get(1) == State(1, 10)
+
+    def test_custom_message_key(self):
+        state = make_state((1, 10))
+        delta = state.update_with_messages(
+            DataBag([("ignored", 1, 5)]),
+            lambda s, m: replace(s, value=m[2]),
+            message_key=lambda m: m[1],
+        )
+        assert delta == DataBag([State(1, 5)])
+
+    def test_message_update_must_preserve_key(self):
+        state = make_state((1, 10))
+        with pytest.raises(EmmaError, match="preserve"):
+            state.update_with_messages(
+                DataBag([Message(1, 0)]),
+                lambda s, m: State(2, 0),
+            )
+
+
+class TestSemiNaiveIteration:
+    def test_connected_components_style_loop(self):
+        # max-label propagation on a path graph 0-1-2.
+        @dataclass(frozen=True)
+        class V:
+            id: int
+            neighbors: tuple
+            component: int
+
+        vertices = [
+            V(0, (1,), 0),
+            V(1, (0, 2), 1),
+            V(2, (1,), 2),
+        ]
+        state = StatefulBag(DataBag(vertices))
+        delta = state.bag()
+        rounds = 0
+        while delta.non_empty():
+            messages = DataBag(
+                (n, s.component)
+                for s in delta
+                for n in s.neighbors
+            )
+            updates = DataBag(
+                (g.key, g.values.map(lambda m: m[1]).max())
+                for g in messages.group_by(lambda m: m[0])
+            )
+            delta = state.update_with_messages(
+                updates,
+                lambda s, u: (
+                    replace(s, component=u[1])
+                    if u[1] > s.component
+                    else None
+                ),
+                message_key=lambda u: u[0],
+            )
+            rounds += 1
+        labels = {s.id: s.component for s in state.bag()}
+        assert labels == {0: 2, 1: 2, 2: 2}
+        assert rounds <= 4

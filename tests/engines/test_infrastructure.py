@@ -1,0 +1,174 @@
+"""Tests for engine infrastructure: metrics, sizes, DFS, cluster."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.engines.cluster import (
+    ClusterConfig,
+    PartitionedBag,
+    Partitioner,
+    hash_partition_index,
+)
+from repro.engines.costmodel import CostModel
+from repro.engines.dfs import SimulatedDFS
+from repro.engines.metrics import JobRun, Metrics
+from repro.engines.sizes import (
+    estimate_bag_bytes,
+    estimate_record_bytes,
+)
+from repro.errors import EngineError
+from repro.lowering.combinators import ScalarFn
+
+
+@dataclass(frozen=True)
+class Rec:
+    a: int
+    b: str
+
+
+class TestMetrics:
+    def test_snapshot_and_delta(self):
+        m = Metrics()
+        m.shuffle_bytes = 100
+        snap = m.snapshot()
+        m.shuffle_bytes = 250
+        delta = m.delta_since(snap)
+        assert delta.shuffle_bytes == 150
+
+    def test_summary_is_compact(self):
+        line = Metrics().summary()
+        assert "t=" in line and "shuffle=" in line
+
+    def test_job_time_is_max_worker_plus_overheads(self):
+        m = Metrics()
+        job = JobRun(num_workers=2, metrics=m)
+        job.charge_worker(0, 1.0)
+        job.charge_worker(1, 3.0)
+        job.charge_driver(0.5)
+        job.add_stage()
+        t = job.finish(fixed_overhead=0.1, stage_overhead=0.2)
+        assert t == pytest.approx(0.1 + 0.2 + 3.0 + 0.5)
+        assert m.simulated_seconds == pytest.approx(t)
+        assert m.jobs_submitted == 1
+
+    def test_charge_spread_divides_across_workers(self):
+        m = Metrics()
+        job = JobRun(num_workers=4, metrics=m)
+        job.charge_spread(4.0)
+        assert job.worker_seconds == [1.0] * 4
+
+    def test_worker_index_wraps(self):
+        job = JobRun(num_workers=2, metrics=Metrics())
+        job.charge_worker(5, 1.0)
+        assert job.worker_seconds[1] == 1.0
+
+
+class TestCostModel:
+    def test_converters(self):
+        cm = CostModel(
+            network_bandwidth=100.0,
+            disk_bandwidth=50.0,
+            cpu_throughput=10.0,
+        )
+        assert cm.network_seconds(200) == pytest.approx(2.0)
+        assert cm.disk_seconds(100) == pytest.approx(2.0)
+        assert cm.cpu_seconds(5) == pytest.approx(0.5)
+
+    def test_defaults_sane(self):
+        cm = CostModel()
+        assert cm.dfs_write_bandwidth < cm.dfs_read_bandwidth
+        assert cm.memory_per_worker > 0
+
+
+class TestSizes:
+    def test_primitives(self):
+        assert estimate_record_bytes(1) == 8
+        assert estimate_record_bytes(1.5) == 8
+        assert estimate_record_bytes(True) == 1
+        assert estimate_record_bytes(None) == 1
+        assert estimate_record_bytes("abcd") == 8
+
+    def test_containers_recursive(self):
+        assert estimate_record_bytes((1, 2)) > 16
+        assert estimate_record_bytes({"k": 1}) > 8
+
+    def test_dataclass(self):
+        assert estimate_record_bytes(Rec(1, "xy")) >= 8 + 6
+
+    def test_bigger_strings_cost_more(self):
+        small = estimate_record_bytes(Rec(1, "x"))
+        big = estimate_record_bytes(Rec(1, "x" * 100))
+        assert big > small + 90
+
+    def test_bag_sampling_extrapolates(self):
+        records = [Rec(i, "abc") for i in range(1000)]
+        total = estimate_bag_bytes(records)
+        per_record = estimate_record_bytes(records[0])
+        assert total == pytest.approx(per_record * 1000, rel=0.05)
+
+    def test_empty_bag(self):
+        assert estimate_bag_bytes([]) == 0
+
+
+class TestDfs:
+    def test_put_get(self):
+        dfs = SimulatedDFS()
+        stored = dfs.put("a/b", [Rec(1, "x")])
+        assert stored.nbytes > 0
+        assert dfs.get("a/b").records == [Rec(1, "x")]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(EngineError, match="no such"):
+            SimulatedDFS().get("nope")
+
+    def test_exists_delete_listdir(self):
+        dfs = SimulatedDFS()
+        dfs.put("x", [1])
+        dfs.put("y", [2])
+        assert dfs.exists("x")
+        assert dfs.listdir() == ["x", "y"]
+        dfs.delete("x")
+        assert not dfs.exists("x")
+        assert dfs.total_bytes() == dfs.get("y").nbytes
+
+
+class TestPartitionedBag:
+    def test_round_robin_distribution(self):
+        bag = PartitionedBag.from_records(range(10), 3)
+        assert bag.num_partitions == 3
+        assert bag.count() == 10
+        assert sorted(bag.collect()) == list(range(10))
+
+    def test_by_key_places_equal_keys_together(self):
+        key_ir = ScalarFn.identity()
+        bag = PartitionedBag.by_key(
+            [1, 1, 2, 2, 3], lambda x: x, key_ir, 4
+        )
+        for p in bag.partitions:
+            # all copies of a key share a partition
+            pass
+        idx = hash_partition_index(1, 4)
+        assert bag.partitions[idx].count(1) == 2
+        assert bag.partitioner is not None
+        assert bag.partitioner.matches(key_ir, 4)
+
+    def test_partitioner_matching_is_alpha_insensitive(self):
+        from repro.comprehension.exprs import Attr, Ref
+
+        p = Partitioner(ScalarFn(("a",), Attr(Ref("a"), "k")), 4)
+        assert p.matches(ScalarFn(("b",), Attr(Ref("b"), "k")), 4)
+        assert not p.matches(ScalarFn(("b",), Attr(Ref("b"), "k")), 8)
+
+    def test_copy_is_independent(self):
+        bag = PartitionedBag([[1], [2]])
+        clone = bag.copy()
+        clone.partitions[0].append(99)
+        assert bag.partitions[0] == [1]
+
+    def test_cluster_parallelism_defaults_to_workers(self):
+        assert ClusterConfig(num_workers=6).parallelism == 6
+        assert (
+            ClusterConfig(num_workers=6, default_parallelism=12).parallelism
+            == 12
+        )

@@ -1,0 +1,98 @@
+"""Tests for the JIT join-strategy decision and its observability.
+
+Paper §4.2.1: after unnesting, "the dataflow compiler can then decide
+whether to use a broadcast or a re-partition strategy in order to
+evaluate the join node at runtime."  The engines make that decision
+from the build side's *measured* size against the engine threshold, and
+record it in the metrics.
+"""
+
+from dataclasses import dataclass
+
+from repro.comprehension.exprs import Attr, Ref
+from repro.core.databag import DataBag
+from repro.engines.cluster import ClusterConfig
+from repro.engines.sparklike import SparkLikeEngine
+from repro.lowering.combinators import (
+    CBagRef,
+    CEqJoin,
+    CSemiJoin,
+    ScalarFn,
+)
+
+
+@dataclass(frozen=True)
+class R:
+    k: int
+    payload: str
+
+
+def key() -> ScalarFn:
+    return ScalarFn(("x",), Attr(Ref("x"), "k"))
+
+
+def _engine(threshold: int) -> SparkLikeEngine:
+    engine = SparkLikeEngine(cluster=ClusterConfig(num_workers=4))
+    engine.broadcast_join_threshold = threshold
+    return engine
+
+
+def _run(engine, plan, env):
+    return DataBag(engine.collect(engine.defer(plan, env)))
+
+
+BIG = DataBag([R(i % 10, "x" * 50) for i in range(200)])
+SMALL = DataBag([R(i, "y") for i in range(5)])
+
+
+class TestEqJoinStrategy:
+    def _plan(self):
+        return CEqJoin(
+            kx=key(),
+            ky=key(),
+            left=CBagRef(name="big"),
+            right=CBagRef(name="small"),
+        )
+
+    def test_small_build_side_broadcasts(self):
+        engine = _engine(threshold=1 << 20)
+        _run(engine, self._plan(), {"big": BIG, "small": SMALL})
+        assert engine.metrics.broadcast_joins == 1
+        assert engine.metrics.repartition_joins == 0
+
+    def test_large_build_side_repartitions(self):
+        engine = _engine(threshold=1)
+        _run(engine, self._plan(), {"big": BIG, "small": SMALL})
+        assert engine.metrics.repartition_joins == 1
+        assert engine.metrics.broadcast_joins == 0
+
+    def test_both_strategies_agree_on_the_answer(self):
+        env = {"big": BIG, "small": SMALL}
+        a = _run(_engine(1 << 20), self._plan(), dict(env))
+        b = _run(_engine(1), self._plan(), dict(env))
+        assert a == b
+
+
+class TestSemiJoinStrategy:
+    def _plan(self):
+        return CSemiJoin(
+            kx=key(),
+            ky=key(),
+            left=CBagRef(name="big"),
+            right=CBagRef(name="small"),
+        )
+
+    def test_strategy_recorded(self):
+        engine = _engine(threshold=1 << 20)
+        _run(engine, self._plan(), {"big": BIG, "small": SMALL})
+        assert engine.metrics.broadcast_joins == 1
+        engine = _engine(threshold=1)
+        _run(engine, self._plan(), {"big": BIG, "small": SMALL})
+        assert engine.metrics.repartition_joins == 1
+
+    def test_strategies_agree_on_the_answer(self):
+        env = {"big": BIG, "small": SMALL}
+        a = _run(_engine(1 << 20), self._plan(), dict(env))
+        b = _run(_engine(1), self._plan(), dict(env))
+        assert a == b
+        assert a == BIG.with_filter(lambda r: r.k < 5)

@@ -1,0 +1,126 @@
+"""Fast tests for the experiment-harness plumbing.
+
+The full experiments run in the benchmark suite; these tests cover the
+shared infrastructure (budget/DNF classification, speedup math, result
+rendering) and the cheap Table 1 harness at unit speed.
+"""
+
+import pytest
+
+from repro.engines.dfs import SimulatedDFS
+from repro.experiments.figure4 import CONFIGURATIONS, Figure4Result, Figure4Scale
+from repro.experiments.runner import (
+    DNF,
+    ExperimentResult,
+    bench_cost_model,
+    make_engine,
+    run_with_budget,
+    speedup,
+)
+from repro.experiments.table1 import PAPER_TABLE_1, run_table1
+
+
+class TestRunner:
+    def test_bench_cost_model_overrides(self):
+        cm = bench_cost_model(cpu_throughput=123.0)
+        assert cm.cpu_throughput == 123.0
+        assert cm.network_bandwidth > 0
+
+    def test_make_engine_kinds(self):
+        dfs = SimulatedDFS()
+        spark = make_engine("spark", dfs, num_workers=3)
+        flink = make_engine("flink", dfs)
+        assert spark.name == "spark"
+        assert spark.cluster.num_workers == 3
+        assert flink.name == "flink"
+        assert spark.dfs is flink.dfs is dfs
+
+    def test_make_engine_overrides(self):
+        engine = make_engine(
+            "spark",
+            SimulatedDFS(),
+            broadcast_join_threshold=7,
+            task_overhead=0.5,
+        )
+        assert engine.broadcast_join_threshold == 7
+        assert engine.task_overhead == 0.5
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            make_engine("dryad", SimulatedDFS())
+
+    def test_run_with_budget_success(self):
+        from repro.workloads.groupagg import group_min
+
+        dfs = SimulatedDFS()
+        from repro.workloads.datagen import stage_keyed_tuples
+
+        path = stage_keyed_tuples(dfs, 100, 5, "uniform")
+        engine = make_engine("spark", dfs)
+        result = run_with_budget(
+            engine, group_min, None, tuples_path=path
+        )
+        assert result.finished
+        assert result.seconds > 0
+
+    def test_run_with_budget_classifies_timeout_as_dnf(self):
+        from repro.workloads.groupagg import group_min
+        from repro.workloads.datagen import stage_keyed_tuples
+
+        dfs = SimulatedDFS()
+        path = stage_keyed_tuples(dfs, 100, 5, "uniform")
+        engine = make_engine("spark", dfs, time_budget=1e-9)
+        result = run_with_budget(
+            engine, group_min, None, tuples_path=path
+        )
+        assert result.seconds is DNF
+        assert not result.finished
+        assert result.extra["failure"] == "SimulatedTimeout"
+
+    def test_speedup_math(self):
+        base = ExperimentResult("spark", "baseline", 10.0)
+        fast = ExperimentResult("spark", "opt", 2.0)
+        dead = ExperimentResult("spark", "dead", DNF)
+        assert speedup(base, fast) == pytest.approx(5.0)
+        assert speedup(base, dead) == 0.0
+        assert speedup(dead, fast) == float("inf")
+
+    def test_result_repr(self):
+        assert "DNF" in repr(ExperimentResult("spark", "x", DNF))
+        assert "1.500s" in repr(ExperimentResult("spark", "x", 1.5))
+
+
+class TestFigure4Plumbing:
+    def test_configuration_set_matches_paper(self):
+        assert set(CONFIGURATIONS) == {
+            "baseline",
+            "unnesting",
+            "unnesting+partitioning",
+            "unnesting+caching",
+            "unnesting+partitioning+caching",
+        }
+        assert not CONFIGURATIONS["baseline"].unnesting
+        assert CONFIGURATIONS["unnesting+caching"].caching
+        assert not CONFIGURATIONS[
+            "unnesting+caching"
+        ].partition_pulling
+
+    def test_speedups_and_rows(self):
+        result = Figure4Result(scale=Figure4Scale())
+        result.runs["spark"] = {
+            "baseline": ExperimentResult("spark", "baseline", 10.0),
+            "unnesting": ExperimentResult("spark", "unnesting", 5.0),
+        }
+        assert result.speedups("spark") == {"unnesting": 2.0}
+        (row,) = result.rows()
+        assert row[:3] == ("spark", "unnesting", 2.0)
+        assert "Figure 4" in result.render()
+
+
+class TestTable1Harness:
+    def test_runs_and_matches_paper(self):
+        result = run_table1()
+        assert result.matches_paper()
+        text = result.render()
+        assert "k-means" in text
+        assert "NO" not in text.replace("NO  ", "")  # only yes rows

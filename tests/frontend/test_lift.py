@@ -1,0 +1,415 @@
+"""Tests for the Python -> driver IR lifter (the parallelize macro)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.comprehension.exprs import (
+    BagLiteral,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    FetchCall,
+    FilterCall,
+    FoldCall,
+    GroupByCall,
+    IfElse,
+    Index,
+    Lambda,
+    MapCall,
+    ReadCall,
+    Ref,
+    StatefulBagOf,
+    StatefulCreate,
+    StatefulUpdate,
+    StatefulUpdateWithMessages,
+    TupleExpr,
+    UnaryOp,
+    WriteCall,
+)
+from repro.comprehension.ir import Comprehension
+from repro.core.databag import DataBag
+from repro.errors import LiftError
+from repro.frontend.driver_ir import (
+    SAssign,
+    SExpr,
+    SFor,
+    SIf,
+    SReturn,
+    SWhile,
+)
+from repro.frontend.lift import lift_function
+
+GLOBAL_CONSTANT = 17
+
+
+def _lift(fn, bags=None):
+    return lift_function(fn, bag_params=bags)
+
+
+class TestStatements:
+    def test_assign_and_return(self):
+        def f(x):
+            y = x + 1
+            return y
+
+        lifted = _lift(f)
+        stmts = lifted.program.body
+        assert isinstance(stmts[0], SAssign)
+        assert stmts[0].name == "y"
+        assert isinstance(stmts[1], SReturn)
+
+    def test_aug_assign_desugars(self):
+        def f(x):
+            x += 2
+            return x
+
+        lifted = _lift(f)
+        assign = lifted.program.body[0]
+        assert isinstance(assign.value, BinOp)
+        assert assign.value.op == "+"
+
+    def test_while_and_if(self):
+        def f(n):
+            i = 0
+            while i < n:
+                if i % 2 == 0:
+                    i = i + 2
+                else:
+                    i = i + 1
+            return i
+
+        lifted = _lift(f)
+        loop = lifted.program.body[1]
+        assert isinstance(loop, SWhile)
+        assert isinstance(loop.body[0], SIf)
+        assert loop.body[0].orelse
+
+    def test_host_for_loop(self):
+        def f(items):
+            total = 0
+            for item in items:
+                total = total + item
+            return total
+
+        lifted = _lift(f)
+        loop = lifted.program.body[1]
+        assert isinstance(loop, SFor)
+        assert loop.var == "item"
+
+    def test_for_over_databag_rejected(self):
+        def f(xs: DataBag):
+            for x in xs:
+                pass
+            return 0
+
+        with pytest.raises(LiftError, match="comprehension"):
+            _lift(f)
+
+    def test_expression_statement(self):
+        def f(x):
+            print(x)
+            return x
+
+        lifted = _lift(f)
+        assert isinstance(lifted.program.body[0], SExpr)
+
+    def test_unsupported_statement_rejected(self):
+        def f(x):
+            try:
+                return x
+            except ValueError:
+                return 0
+
+        with pytest.raises(LiftError, match="Try"):
+            _lift(f)
+
+    def test_tuple_assignment_rejected(self):
+        def f(x):
+            a, b = x, x
+            return a
+
+        with pytest.raises(LiftError, match="simple name"):
+            _lift(f)
+
+
+class TestExpressions:
+    def test_arithmetic_comparison_bool(self):
+        def f(a, b):
+            return (a + b * 2) > 3 and not (a == b)
+
+        lifted = _lift(f)
+        ret = lifted.program.body[0].value
+        assert isinstance(ret, BoolOp)
+        assert isinstance(ret.operands[1], UnaryOp)
+
+    def test_chained_comparison(self):
+        def f(a):
+            return 0 < a < 10
+
+        lifted = _lift(f)
+        ret = lifted.program.body[0].value
+        assert isinstance(ret, BoolOp)
+        assert all(isinstance(p, Compare) for p in ret.operands)
+
+    def test_conditional_expression(self):
+        def f(a):
+            return 1 if a else 2
+
+        lifted = _lift(f)
+        assert isinstance(lifted.program.body[0].value, IfElse)
+
+    def test_subscript(self):
+        def f(t):
+            return t[0]
+
+        lifted = _lift(f)
+        assert isinstance(lifted.program.body[0].value, Index)
+
+    def test_slice_rejected(self):
+        def f(t):
+            return t[1:2]
+
+        with pytest.raises(LiftError, match="slicing"):
+            _lift(f)
+
+    def test_lambda_with_defaults_rejected(self):
+        def f(xs: DataBag):
+            return xs.map(lambda x, y=1: x)
+
+        with pytest.raises(LiftError, match="positional"):
+            _lift(f)
+
+    def test_fstring_rejected(self):
+        def f(x):
+            return f"{x}"
+
+        with pytest.raises(LiftError, match="JoinedStr"):
+            _lift(f)
+
+
+class TestComprehensionLifting:
+    def test_generator_expression(self):
+        def f(xs: DataBag):
+            return (x + 1 for x in xs if x > 0)
+
+        lifted = _lift(f)
+        comp = lifted.program.body[0].value
+        assert isinstance(comp, Comprehension)
+        assert len(comp.generators()) == 1
+        assert len(comp.guards()) == 1
+
+    def test_multi_generator_comprehension(self):
+        def f(xs: DataBag, ys: DataBag):
+            return ((x, y) for x in xs for y in ys if x == y)
+
+        lifted = _lift(f)
+        comp = lifted.program.body[0].value
+        assert len(comp.generators()) == 2
+
+    def test_list_comprehension_lifts_like_genexp(self):
+        def f(xs: DataBag):
+            return [x for x in xs]
+
+        lifted = _lift(f)
+        assert isinstance(lifted.program.body[0].value, Comprehension)
+
+    def test_tuple_target_rejected(self):
+        def f(xs: DataBag):
+            return (a for a, b in xs)
+
+        with pytest.raises(LiftError, match="simple names"):
+            _lift(f)
+
+
+class TestBagMethodDispatch:
+    def test_map_on_annotated_param(self):
+        def f(xs: DataBag):
+            return xs.map(lambda x: x * 2)
+
+        lifted = _lift(f)
+        assert isinstance(lifted.program.body[0].value, MapCall)
+
+    def test_bags_argument_marks_parameters(self):
+        def f(xs):
+            return xs.map(lambda x: x)
+
+        lifted = _lift(f, bags=("xs",))
+        assert isinstance(lifted.program.body[0].value, MapCall)
+
+    def test_fold_aliases_lift(self):
+        def f(xs: DataBag):
+            return xs.sum() + xs.count() + xs.min_by(lambda x: x)
+
+        lifted = _lift(f)
+        ret = lifted.program.body[0].value
+        folds = [
+            n
+            for n in _walk_expr(ret)
+            if isinstance(n, FoldCall)
+        ]
+        assert {f_.spec.alias for f_ in folds} == {
+            "sum",
+            "count",
+            "min_by",
+        }
+
+    def test_size_maps_to_count(self):
+        def f(xs: DataBag):
+            return xs.size()
+
+        lifted = _lift(f)
+        assert lifted.program.body[0].value.spec.alias == "count"
+
+    def test_eta_expansion_of_named_functions(self):
+        def g(x):
+            return x + 1
+
+        def f(xs: DataBag):
+            return xs.map(g)
+
+        lifted = _lift(f)
+        call = lifted.program.body[0].value
+        assert isinstance(call, MapCall)
+        assert isinstance(call.fn, Lambda)
+
+    def test_common_method_on_scalar_stays_opaque(self):
+        def f(s):
+            return s.count()
+
+        # `s` is not bag-typed, so str.count()-style calls stay opaque.
+        lifted = _lift(f)
+        assert isinstance(lifted.program.body[0].value, Call)
+
+    def test_group_values_treated_as_bag(self):
+        def f(xs: DataBag):
+            return (g.values.count() for g in xs.group_by(lambda x: x))
+
+        lifted = _lift(f)
+        comp = lifted.program.body[0].value
+        assert isinstance(comp.head, FoldCall)
+
+    def test_fetch(self):
+        def f(xs: DataBag):
+            return xs.fetch()
+
+        lifted = _lift(f)
+        assert isinstance(lifted.program.body[0].value, FetchCall)
+
+    def test_group_by(self):
+        def f(xs: DataBag):
+            return xs.group_by(lambda x: x % 2)
+
+        lifted = _lift(f)
+        assert isinstance(lifted.program.body[0].value, GroupByCall)
+
+
+class TestIntrinsics:
+    def test_read_write(self):
+        def f(path, fmt):
+            data = read(path, fmt)  # noqa: F821 - intrinsic
+            write(path, fmt, data)  # noqa: F821 - intrinsic
+            return None
+
+        lifted = _lift(f)
+        assert isinstance(lifted.program.body[0].value, ReadCall)
+        assert isinstance(lifted.program.body[1].value, WriteCall)
+
+    def test_databag_literal(self):
+        def f(seq):
+            return DataBag(seq)
+
+        lifted = _lift(f)
+        assert isinstance(lifted.program.body[0].value, BagLiteral)
+
+    def test_stateful_lifecycle(self):
+        def f(xs: DataBag):
+            state = stateful(xs)  # noqa: F821 - intrinsic
+            state.update(lambda s: None)
+            state.update_with_messages(xs, lambda s, m: None)
+            return state.bag()
+
+        lifted = _lift(f)
+        body = lifted.program.body
+        assert isinstance(body[0].value, StatefulCreate)
+        assert body[0].stateful
+        assert isinstance(body[1].value, StatefulUpdate)
+        assert isinstance(body[2].value, StatefulUpdateWithMessages)
+        assert isinstance(body[3].value, StatefulBagOf)
+
+    def test_wrong_intrinsic_arity(self):
+        def f(path):
+            return read(path)  # noqa: F821 - intrinsic
+
+        with pytest.raises(LiftError, match="read"):
+            _lift(f)
+
+
+class TestCapturedEnvironment:
+    def test_globals_captured(self):
+        def f(x):
+            return x + GLOBAL_CONSTANT
+
+        lifted = _lift(f)
+        assert lifted.captured["GLOBAL_CONSTANT"] == 17
+
+    def test_closure_captured(self):
+        offset = 5
+
+        def f(x):
+            return x + offset
+
+        lifted = _lift(f)
+        assert lifted.captured["offset"] == 5
+
+    def test_builtins_captured(self):
+        def f(xs):
+            return len(xs)
+
+        lifted = _lift(f)
+        assert lifted.captured["len"] is len
+
+    def test_unresolved_name_rejected(self):
+        def f(x):
+            return x + definitely_not_defined  # noqa: F821
+
+        with pytest.raises(LiftError, match="definitely_not_defined"):
+            _lift(f)
+
+    def test_locals_not_captured(self):
+        def f(x):
+            y = 1
+            return x + y
+
+        lifted = _lift(f)
+        assert "y" not in lifted.captured
+
+
+class TestBagTypeTracking:
+    def test_assignment_propagates_bagness(self):
+        def f(xs: DataBag):
+            ys = xs.map(lambda x: x)
+            zs = ys.with_filter(lambda x: True)
+            return zs
+
+        lifted = _lift(f)
+        assert lifted.program.body[0].bag_typed
+        assert lifted.program.body[1].bag_typed
+        assert isinstance(lifted.program.body[1].value, FilterCall)
+
+    def test_scalar_assignment_clears_bagness(self):
+        def f(xs: DataBag):
+            y = xs.map(lambda x: x)
+            y = 5
+            return y
+
+        lifted = _lift(f)
+        assert lifted.program.body[0].bag_typed
+        assert not lifted.program.body[1].bag_typed
+
+
+def _walk_expr(expr):
+    from repro.comprehension.exprs import walk
+
+    return walk(expr)

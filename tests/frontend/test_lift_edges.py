@@ -1,0 +1,163 @@
+"""Additional lifter edge cases: dispatch ambiguity, annotations,
+module-qualified intrinsics, scoping."""
+
+from dataclasses import dataclass
+
+import pytest
+
+import repro.api as emma
+from repro.api import DataBag, LocalEngine, SparkLikeEngine
+from repro.comprehension.exprs import (
+    Call,
+    FoldCall,
+    MapCall,
+    ReadCall,
+)
+from repro.errors import LiftError
+from repro.frontend.lift import lift_function
+
+
+@dataclass(frozen=True)
+class Rec:
+    k: int
+    words: str
+
+
+class TestAnnotations:
+    def test_string_annotation_recognized(self):
+        def f(xs: "DataBag"):
+            return xs.map(lambda x: x)
+
+        lifted = lift_function(f)
+        assert "xs" in lifted.program.bag_params
+
+    def test_generic_annotation_recognized(self):
+        def f(xs: "DataBag[int]"):
+            return xs.count()
+
+        lifted = lift_function(f)
+        assert "xs" in lifted.program.bag_params
+
+    def test_unannotated_param_is_scalar(self):
+        def f(xs):
+            return xs
+
+        lifted = lift_function(f)
+        assert not lifted.program.bag_params
+
+
+class TestModuleQualifiedIntrinsics:
+    def test_emma_dot_read(self):
+        def f(path, fmt):
+            return emma.read(path, fmt)
+
+        lifted = lift_function(f)
+        assert isinstance(lifted.program.body[0].value, ReadCall)
+
+
+class TestDispatchAmbiguity:
+    def test_count_with_argument_stays_opaque(self):
+        # str.count(sub) has an argument; the bag alias takes none.
+        def f(s):
+            return s.count("x")
+
+        lifted = lift_function(f)
+        assert isinstance(lifted.program.body[0].value, Call)
+
+    def test_method_on_constant_stays_opaque(self):
+        def f():
+            return "hello".distinct() if False else 1
+
+        # `"hello".distinct()` would be nonsense at runtime, but the
+        # lifter must not treat a Const receiver as a bag.
+        lifted = lift_function(f)
+        assert lifted is not None
+
+    def test_sum_on_group_values_chain(self):
+        def f(xs: DataBag):
+            return (
+                g.values.map(lambda r: r.k).sum()
+                for g in xs.group_by(lambda r: r.words)
+            )
+
+        lifted = lift_function(f)
+        comp = lifted.program.body[0].value
+        assert isinstance(comp.head, FoldCall)
+        assert isinstance(comp.head.source, MapCall)
+
+    def test_scalar_reassignment_downgrades_method_dispatch(self):
+        # After `xs = 5`, xs.map(...) must not lift as a bag operator.
+        def f(xs: DataBag, transform):
+            xs = 5
+            return transform(xs)
+
+        lifted = lift_function(f)
+        ret = lifted.program.body[-1].value
+        assert isinstance(ret, Call)
+
+
+class TestScoping:
+    def test_lambda_param_shadows_driver_name(self):
+        def f(xs: DataBag, k):
+            return xs.map(lambda k: k + 1)
+
+        result = lift_function(f)
+        # `k` the lambda parameter shadows `k` the driver parameter:
+        # the program has no free use of the driver k beyond itself.
+        comp_runs = DataBag([1, 2])
+        from repro.frontend.parallelize import Algorithm
+
+        algo = Algorithm(result)
+        assert algo.run(LocalEngine(), xs=comp_runs, k=99) == DataBag(
+            [2, 3]
+        )
+
+    def test_comprehension_var_shadows_outer(self):
+        def f(xs: DataBag, x):
+            return (x * 2 for x in xs)
+
+        from repro.frontend.parallelize import Algorithm
+
+        algo = Algorithm(lift_function(f))
+        assert algo.run(
+            SparkLikeEngine(), xs=DataBag([1, 2]), x=100
+        ) == DataBag([2, 4])
+
+
+class TestStatementErrors:
+    def test_with_statement_rejected(self):
+        def f(x):
+            with open("f"):
+                pass
+            return x
+
+        with pytest.raises(LiftError, match="With"):
+            lift_function(f)
+
+    def test_nested_def_rejected(self):
+        def f(x):
+            def g():
+                return 1
+
+            return g()
+
+        with pytest.raises(LiftError, match="FunctionDef"):
+            lift_function(f)
+
+    def test_while_else_rejected(self):
+        def f(x):
+            while x:
+                x = 0
+            else:
+                x = 1
+            return x
+
+        with pytest.raises(LiftError, match="while/else"):
+            lift_function(f)
+
+    def test_starred_call_rejected(self):
+        def f(x, fn):
+            return fn(**x)
+
+        with pytest.raises(LiftError, match="kwargs"):
+            lift_function(f)

@@ -1,0 +1,202 @@
+"""Tests for the driver interpreter (direct and compiled paths)."""
+
+from dataclasses import dataclass, replace
+
+import pytest
+
+from repro.api import (
+    DataBag,
+    EmmaConfig,
+    FlinkLikeEngine,
+    LocalEngine,
+    SparkLikeEngine,
+    parallelize,
+)
+from repro.engines.dfs import SimulatedDFS
+
+
+@dataclass(frozen=True)
+class Item:
+    id: int
+    group: int
+    value: float
+
+
+@parallelize
+def uses_host_for_and_if(xs: DataBag, labels):
+    totals = 0.0
+    for label in labels:
+        subset = (x for x in xs if x.group == label)
+        count = subset.count()
+        if count > 0:
+            totals = totals + count
+        else:
+            totals = totals - 1
+    return totals
+
+
+@parallelize
+def reads_and_writes(in_path, out_path, fmt):
+    data = read(in_path, fmt)  # noqa: F821 - intrinsic
+    doubled = data.map(lambda x: x * 2)
+    write(out_path, fmt, doubled)  # noqa: F821 - intrinsic
+    return doubled.count()
+
+
+@parallelize
+def fetches(xs: DataBag):
+    return xs.map(lambda x: x + 1).fetch()
+
+
+@parallelize
+def stateful_round_trip(xs: DataBag):
+    state = stateful(xs)  # noqa: F821 - intrinsic
+    state.update(
+        lambda s: replace(s, value=s.value * 2) if s.id % 2 == 0 else None
+    )
+    return state.bag()
+
+
+@parallelize
+def nested_while(n):
+    outer = 0
+    i = 0
+    while i < n:
+        j = 0
+        while j < i:
+            outer = outer + 1
+            j = j + 1
+        i = i + 1
+    return outer
+
+
+ENGINES = [LocalEngine, SparkLikeEngine, FlinkLikeEngine]
+
+
+@pytest.mark.parametrize("engine_factory", ENGINES, ids=["local", "spark", "flink"])
+class TestControlFlow:
+    def test_host_for_and_if(self, engine_factory):
+        xs = DataBag(
+            Item(i, i % 3, float(i)) for i in range(30)
+        )
+        result = uses_host_for_and_if.run(
+            engine_factory(), xs=xs, labels=[0, 1, 2, 99]
+        )
+        assert result == 10 + 10 + 10 - 1
+
+    def test_nested_while(self, engine_factory):
+        assert nested_while.run(engine_factory(), n=5) == 10
+
+
+@pytest.mark.parametrize("engine_factory", ENGINES, ids=["local", "spark", "flink"])
+class TestIoAndConversion:
+    def test_read_write_round_trip(self, engine_factory):
+        engine = engine_factory()
+        engine.dfs.put("in", [1, 2, 3])
+        count = reads_and_writes.run(
+            engine, in_path="in", out_path="out", fmt=None
+        )
+        assert count == 3
+        assert sorted(engine.dfs.get("out").records) == [2, 4, 6]
+
+    def test_fetch_returns_list(self, engine_factory):
+        result = fetches.run(engine_factory(), xs=DataBag([1, 2]))
+        assert sorted(result) == [2, 3]
+
+    def test_stateful_round_trip(self, engine_factory):
+        xs = DataBag(Item(i, 0, float(i)) for i in range(6))
+        result = stateful_round_trip.run(engine_factory(), xs=xs)
+        by_id = {s.id: s.value for s in result}
+        assert by_id[2] == 4.0
+        assert by_id[3] == 3.0
+
+
+class TestCompiledSpecifics:
+    def test_loop_cap_guards_against_nontermination(self):
+        @parallelize
+        def forever():
+            i = 0
+            while i < 1:
+                i = i * 1  # never reaches 1
+            return i
+
+        import repro.frontend.runtime as rt
+
+        old = rt._MAX_LOOP_ITERATIONS
+        rt._MAX_LOOP_ITERATIONS = 50
+        try:
+            from repro.errors import EmmaError
+
+            with pytest.raises(EmmaError, match="iteration cap"):
+                forever.run(SparkLikeEngine())
+            with pytest.raises(EmmaError, match="iteration cap"):
+                forever.run(LocalEngine())
+        finally:
+            rt._MAX_LOOP_ITERATIONS = old
+
+    def test_metrics_accumulate_across_statements(self):
+        engine = SparkLikeEngine()
+        uses_host_for_and_if.run(
+            engine,
+            xs=DataBag(Item(i, i % 2, 0.0) for i in range(10)),
+            labels=[0, 1],
+        )
+        assert engine.metrics.jobs_submitted >= 2
+        assert engine.metrics.simulated_seconds > 0
+
+    def test_baseline_and_optimized_jobs_differ(self):
+        xs = DataBag(Item(i, i % 3, float(i)) for i in range(30))
+        optimized = SparkLikeEngine()
+        uses_host_for_and_if.run(
+            optimized, xs=xs, labels=[0, 1, 2]
+        )
+        baseline = SparkLikeEngine()
+        uses_host_for_and_if.run(
+            baseline,
+            config=EmmaConfig.none(),
+            xs=xs,
+            labels=[0, 1, 2],
+        )
+        # Caching adds a materialization job in the optimized run.
+        assert (
+            optimized.metrics.jobs_submitted
+            != baseline.metrics.jobs_submitted
+        )
+
+    def test_distinct_dfs_instances_are_isolated(self):
+        a, b = SimulatedDFS(), SimulatedDFS()
+        ea = SparkLikeEngine(dfs=a)
+        eb = SparkLikeEngine(dfs=b)
+        a.put("in", [1])
+        b.put("in", [10, 20])
+        assert (
+            reads_and_writes.run(
+                ea, in_path="in", out_path="o", fmt=None
+            )
+            == 1
+        )
+        assert (
+            reads_and_writes.run(
+                eb, in_path="in", out_path="o", fmt=None
+            )
+            == 2
+        )
+
+
+class TestPrettyProgram:
+    def test_renders_driver_ir(self):
+        from repro.frontend.driver_ir import pretty_program
+
+        text = pretty_program(uses_host_for_and_if.lifted.program)
+        assert text.startswith("def uses_host_for_and_if(")
+        assert "for label in labels:" in text
+        assert "if (count > 0):" in text
+        assert "# bag" in text
+
+    def test_renders_compiled_program_with_plans_and_caches(self):
+        from repro.frontend.driver_ir import pretty_program
+
+        compiled = uses_host_for_and_if.compiled()
+        text = pretty_program(compiled.program)
+        assert "<dataflow:scalar" in text
+        assert "cache xs" in text

@@ -1,0 +1,392 @@
+"""Tests for the comprehension -> combinator rewrite (Figures 2/3a)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.comprehension.exprs import (
+    AggByCall,
+    AlgebraSpec,
+    Attr,
+    BagLiteral,
+    BinOp,
+    Compare,
+    Const,
+    DistinctCall,
+    FilterCall,
+    FlatMapCall,
+    FoldCall,
+    GroupByCall,
+    Lambda,
+    MapCall,
+    MinusCall,
+    PlusCall,
+    ReadCall,
+    Ref,
+    TupleExpr,
+    evaluate,
+)
+from repro.comprehension.ir import (
+    BAG,
+    Comprehension,
+    GenMode,
+    Generator,
+    Guard,
+)
+from repro.comprehension.normalize import normalize
+from repro.comprehension.resugar import resugar
+from repro.core.databag import DataBag
+from repro.errors import LoweringError
+from repro.lowering.combinators import (
+    CAggBy,
+    CBagRef,
+    CCross,
+    CDistinct,
+    CEqJoin,
+    CFilter,
+    CFlatMap,
+    CFold,
+    CGroupBy,
+    CMap,
+    CMinus,
+    CParallelize,
+    CSemiJoin,
+    CSource,
+    CUnion,
+    combinator_nodes,
+)
+from repro.lowering.rules import lower, lower_source
+
+
+@dataclass(frozen=True)
+class R:
+    k: int
+    v: int
+
+
+def _lower(expr):
+    return lower(normalize(resugar(expr)))
+
+
+def _node_kinds(plan):
+    return [type(n).__name__ for n in combinator_nodes(plan)]
+
+
+class TestSources:
+    def test_ref(self):
+        assert isinstance(lower_source(Ref("xs"), None), CBagRef)
+
+    def test_read(self):
+        plan = lower_source(
+            ReadCall(path=Const("p"), fmt=Const(None)), None
+        )
+        assert isinstance(plan, CSource)
+
+    def test_bag_literal(self):
+        assert isinstance(
+            lower_source(BagLiteral(Ref("seq")), None), CParallelize
+        )
+
+    def test_group_by(self):
+        plan = lower_source(
+            GroupByCall(Ref("xs"), Lambda(("x",), Ref("x"))), None
+        )
+        assert isinstance(plan, CGroupBy)
+
+    def test_agg_by(self):
+        plan = lower_source(
+            AggByCall(
+                source=Ref("xs"),
+                key=Lambda(("x",), Ref("x")),
+                specs=(AlgebraSpec("count"),),
+            ),
+            None,
+        )
+        assert isinstance(plan, CAggBy)
+
+    def test_plus_minus_distinct(self):
+        assert isinstance(
+            lower_source(PlusCall(Ref("a"), Ref("b")), None), CUnion
+        )
+        assert isinstance(
+            lower_source(MinusCall(Ref("a"), Ref("b")), None), CMinus
+        )
+        assert isinstance(
+            lower_source(DistinctCall(Ref("a")), None), CDistinct
+        )
+
+    def test_unloweable_source_raises(self):
+        with pytest.raises(LoweringError):
+            lower_source(Const(5), None)
+
+
+class TestStateMachine:
+    def test_map_rule(self):
+        plan = _lower(
+            MapCall(Ref("xs"), Lambda(("x",), BinOp("+", Ref("x"), Const(1))))
+        )
+        assert _node_kinds(plan) == ["CMap", "CBagRef"]
+
+    def test_identity_map_elided(self):
+        plan = _lower(MapCall(Ref("xs"), Lambda(("x",), Ref("x"))))
+        assert _node_kinds(plan) == ["CBagRef"]
+
+    def test_filter_pushdown(self):
+        plan = _lower(
+            FilterCall(
+                Ref("xs"),
+                Lambda(("x",), Compare(">", Ref("x"), Const(0))),
+            )
+        )
+        assert _node_kinds(plan) == ["CFilter", "CBagRef"]
+
+    def test_equi_join_from_two_generators(self):
+        comp = Comprehension(
+            head=TupleExpr((Ref("x"), Ref("y"))),
+            qualifiers=(
+                Generator("x", Ref("xs")),
+                Generator("y", Ref("ys")),
+                Guard(
+                    Compare(
+                        "==",
+                        Attr(Ref("x"), "k"),
+                        Attr(Ref("y"), "k"),
+                    )
+                ),
+            ),
+            kind=BAG,
+        )
+        plan = _lower(comp)
+        kinds = _node_kinds(plan)
+        assert "CEqJoin" in kinds
+        assert "CCross" not in kinds
+
+    def test_filter_pushed_below_join(self):
+        comp = Comprehension(
+            head=Ref("x"),
+            qualifiers=(
+                Generator("x", Ref("xs")),
+                Generator("y", Ref("ys")),
+                Guard(Compare(">", Attr(Ref("x"), "v"), Const(0))),
+                Guard(
+                    Compare(
+                        "==",
+                        Attr(Ref("x"), "k"),
+                        Attr(Ref("y"), "k"),
+                    )
+                ),
+            ),
+            kind=BAG,
+        )
+        plan = _lower(comp)
+        join = next(
+            n for n in combinator_nodes(plan) if isinstance(n, CEqJoin)
+        )
+        # The single-generator filter sits below the join's left input.
+        assert isinstance(join.left, CFilter)
+
+    def test_cross_when_no_equi_predicate(self):
+        comp = Comprehension(
+            head=TupleExpr((Ref("x"), Ref("y"))),
+            qualifiers=(
+                Generator("x", Ref("xs")),
+                Generator("y", Ref("ys")),
+            ),
+            kind=BAG,
+        )
+        plan = _lower(comp)
+        assert "CCross" in _node_kinds(plan)
+
+    def test_non_equi_predicate_becomes_residual_filter_on_cross(self):
+        comp = Comprehension(
+            head=Ref("x"),
+            qualifiers=(
+                Generator("x", Ref("xs")),
+                Generator("y", Ref("ys")),
+                Guard(Compare("<", Ref("x"), Ref("y"))),
+            ),
+            kind=BAG,
+        )
+        plan = _lower(comp)
+        kinds = _node_kinds(plan)
+        assert kinds[0] in ("CMap", "CFilter")
+        assert "CCross" in kinds
+        assert "CFilter" in kinds
+
+    def test_three_way_join(self):
+        comp = Comprehension(
+            head=TupleExpr((Ref("a"), Ref("b"), Ref("c"))),
+            qualifiers=(
+                Generator("a", Ref("as_")),
+                Generator("b", Ref("bs")),
+                Generator("c", Ref("cs")),
+                Guard(Compare("==", Ref("a"), Ref("b"))),
+                Guard(Compare("==", Ref("b"), Ref("c"))),
+            ),
+            kind=BAG,
+        )
+        plan = _lower(comp)
+        joins = [
+            n for n in combinator_nodes(plan) if isinstance(n, CEqJoin)
+        ]
+        assert len(joins) == 2
+
+    def test_fold_kind_wraps_in_cfold(self):
+        plan = _lower(FoldCall(Ref("xs"), AlgebraSpec("sum")))
+        assert isinstance(plan, CFold)
+
+    def test_flat_map_head(self):
+        plan = _lower(
+            FlatMapCall(
+                Ref("xs"), Lambda(("x",), Attr(Ref("x"), "items"))
+            )
+        )
+        kinds = _node_kinds(plan)
+        assert "CFlatMap" in kinds
+
+    def test_exists_generator_becomes_semi_join(self):
+        comp = Comprehension(
+            head=Ref("e"),
+            qualifiers=(
+                Generator("e", Ref("emails")),
+                Generator("b", Ref("bl"), GenMode.EXISTS),
+                Guard(
+                    Compare(
+                        "==",
+                        Attr(Ref("b"), "ip"),
+                        Attr(Ref("e"), "ip"),
+                    )
+                ),
+            ),
+            kind=BAG,
+        )
+        plan = _lower(comp)
+        semi = next(
+            n
+            for n in combinator_nodes(plan)
+            if isinstance(n, CSemiJoin)
+        )
+        assert not semi.anti
+
+    def test_not_exists_generator_becomes_anti_join(self):
+        comp = Comprehension(
+            head=Ref("e"),
+            qualifiers=(
+                Generator("e", Ref("emails")),
+                Generator("b", Ref("bl"), GenMode.NOT_EXISTS),
+                Guard(Compare("==", Ref("b"), Ref("e"))),
+            ),
+            kind=BAG,
+        )
+        plan = _lower(comp)
+        semi = next(
+            n
+            for n in combinator_nodes(plan)
+            if isinstance(n, CSemiJoin)
+        )
+        assert semi.anti
+
+    def test_exists_without_equi_guard_raises(self):
+        comp = Comprehension(
+            head=Ref("e"),
+            qualifiers=(
+                Generator("e", Ref("emails")),
+                Generator("b", Ref("bl"), GenMode.EXISTS),
+                Guard(Compare("<", Ref("b"), Ref("e"))),
+            ),
+            kind=BAG,
+        )
+        with pytest.raises(LoweringError, match="equi-join"):
+            lower(comp)
+
+    def test_dependent_generator_becomes_flat_map(self):
+        comp = Comprehension(
+            head=Ref("n"),
+            qualifiers=(
+                Generator("v", Ref("vs")),
+                Generator("n", Attr(Ref("v"), "neighbors")),
+            ),
+            kind=BAG,
+        )
+        plan = _lower(comp)
+        assert "CFlatMap" in _node_kinds(plan)
+
+    def test_comprehension_without_generators_raises(self):
+        comp = Comprehension(head=Const(1), qualifiers=(), kind=BAG)
+        with pytest.raises(LoweringError, match="no normal generators"):
+            lower(comp)
+
+
+class TestLoweredSemantics:
+    """Lowered plans executed on an engine must match direct evaluation."""
+
+    def _run(self, expr, env):
+        from repro.engines.sparklike import SparkLikeEngine
+
+        plan = _lower(expr)
+        engine = SparkLikeEngine()
+        if isinstance(plan, CFold):
+            return engine.run_scalar(plan, env)
+        return DataBag(engine.collect(engine.defer(plan, env)))
+
+    def test_join_semantics(self):
+        comp = Comprehension(
+            head=TupleExpr((Attr(Ref("x"), "v"), Attr(Ref("y"), "v"))),
+            qualifiers=(
+                Generator("x", Ref("xs")),
+                Generator("y", Ref("ys")),
+                Guard(
+                    Compare(
+                        "==",
+                        Attr(Ref("x"), "k"),
+                        Attr(Ref("y"), "k"),
+                    )
+                ),
+            ),
+            kind=BAG,
+        )
+        env = {
+            "xs": DataBag([R(1, 10), R(2, 20), R(1, 11)]),
+            "ys": DataBag([R(1, 100), R(3, 300)]),
+        }
+        assert self._run(comp, env) == evaluate(comp, env)
+
+    def test_cross_semantics(self):
+        comp = Comprehension(
+            head=TupleExpr((Ref("x"), Ref("y"))),
+            qualifiers=(
+                Generator("x", Ref("xs")),
+                Generator("y", Ref("ys")),
+            ),
+            kind=BAG,
+        )
+        env = {"xs": DataBag([1, 2]), "ys": DataBag(["a"])}
+        assert self._run(comp, env) == evaluate(comp, env)
+
+    def test_fold_semantics(self):
+        expr = FoldCall(
+            FilterCall(
+                Ref("xs"),
+                Lambda(("x",), Compare(">", Ref("x"), Const(2))),
+            ),
+            AlgebraSpec("sum"),
+        )
+        env = {"xs": DataBag([1, 2, 3, 4])}
+        assert self._run(expr, env) == evaluate(expr, env) == 7
+
+    def test_dependent_generator_semantics(self):
+        comp = Comprehension(
+            head=Ref("n"),
+            qualifiers=(
+                Generator("v", Ref("vs")),
+                Generator("n", Attr(Ref("v"), "neighbors")),
+            ),
+            kind=BAG,
+        )
+
+        @dataclass(frozen=True)
+        class V:
+            neighbors: tuple
+
+        env = {"vs": DataBag([V((1, 2)), V((3,))])}
+        assert self._run(comp, env) == DataBag([1, 2, 3])

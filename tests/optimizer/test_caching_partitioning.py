@@ -1,0 +1,236 @@
+"""Tests for the caching and partition-pulling heuristics (§4.4)."""
+
+from repro.comprehension.exprs import (
+    AlgebraSpec,
+    Attr,
+    Compare,
+    Const,
+    FoldCall,
+    GroupByCall,
+    Lambda,
+    MapCall,
+    Ref,
+)
+from repro.comprehension.ir import (
+    BAG,
+    Comprehension,
+    GenMode,
+    Generator,
+    Guard,
+)
+from repro.frontend.driver_ir import (
+    DriverProgram,
+    SAssign,
+    SCache,
+    SReturn,
+    SWhile,
+)
+from repro.lowering.combinators import ScalarFn
+from repro.optimizer.caching import (
+    insert_cache_statements,
+    plan_caching,
+)
+from repro.optimizer.partition_pulling import (
+    choose_partition_keys,
+    collect_partition_uses,
+)
+
+
+def bag_assign(name, value):
+    return SAssign(name=name, value=value, bag_typed=True)
+
+
+def prog(*stmts, params=(), bag_params=()):
+    return DriverProgram(
+        name="p",
+        params=params,
+        body=stmts,
+        bag_params=frozenset(bag_params),
+    )
+
+
+def mapped(src):
+    return MapCall(src, Lambda(("x",), Ref("x")))
+
+
+class TestCachingHeuristic:
+    def test_loop_use_triggers_cache(self):
+        program = prog(
+            bag_assign("ys", mapped(Ref("src"))),
+            SWhile(
+                cond=Const(True),
+                body=(
+                    SAssign(
+                        name="n",
+                        value=FoldCall(Ref("ys"), AlgebraSpec("count")),
+                    ),
+                ),
+            ),
+        )
+        decisions = plan_caching(program)
+        assert [(d.name, d.reason) for d in decisions] == [
+            ("ys", "loop")
+        ]
+
+    def test_multi_use_triggers_cache(self):
+        program = prog(
+            bag_assign("ys", mapped(Ref("src"))),
+            SAssign(
+                name="a", value=FoldCall(Ref("ys"), AlgebraSpec("count"))
+            ),
+            SAssign(
+                name="b", value=FoldCall(Ref("ys"), AlgebraSpec("sum"))
+            ),
+        )
+        decisions = plan_caching(program)
+        assert [(d.name, d.reason) for d in decisions] == [
+            ("ys", "multi-use")
+        ]
+
+    def test_single_use_not_cached(self):
+        program = prog(
+            bag_assign("ys", mapped(Ref("src"))),
+            SReturn(value=Ref("ys")),
+        )
+        assert plan_caching(program) == []
+
+    def test_reassigned_names_not_cached(self):
+        # ctrds-style: rebound inside the loop, so not loop-invariant.
+        program = prog(
+            bag_assign("ys", mapped(Ref("src"))),
+            SWhile(
+                cond=Const(True),
+                body=(
+                    bag_assign("ys", mapped(Ref("ys"))),
+                    SAssign(
+                        name="n",
+                        value=FoldCall(Ref("ys"), AlgebraSpec("count")),
+                    ),
+                ),
+            ),
+        )
+        assert plan_caching(program) == []
+
+    def test_bag_parameter_used_in_loop_cached(self):
+        program = prog(
+            SWhile(
+                cond=Const(True),
+                body=(
+                    SAssign(
+                        name="n",
+                        value=FoldCall(
+                            Ref("points"), AlgebraSpec("count")
+                        ),
+                    ),
+                ),
+            ),
+            params=("points",),
+            bag_params=("points",),
+        )
+        decisions = plan_caching(program)
+        assert [d.name for d in decisions] == ["points"]
+
+    def test_insertion_points(self):
+        program = prog(
+            bag_assign("ys", mapped(Ref("points"))),
+            SWhile(
+                cond=Const(True),
+                body=(
+                    SAssign(
+                        name="n",
+                        value=FoldCall(
+                            Ref("points"), AlgebraSpec("count")
+                        ),
+                    ),
+                    SAssign(
+                        name="m",
+                        value=FoldCall(Ref("ys"), AlgebraSpec("sum")),
+                    ),
+                ),
+            ),
+            params=("points",),
+            bag_params=("points",),
+        )
+        decisions = plan_caching(program)
+        out = insert_cache_statements(program, decisions)
+        kinds = [type(s).__name__ for s in out.body]
+        # Parameter cache first, then ys's cache right after its def.
+        assert kinds == ["SCache", "SAssign", "SCache", "SWhile"]
+        assert out.body[0].name == "points"
+        assert out.body[2].name == "ys"
+
+
+def _join_comp(exists=False):
+    mode = GenMode.EXISTS if exists else GenMode.NORMAL
+    return Comprehension(
+        head=Ref("e"),
+        qualifiers=(
+            Generator("e", Ref("emails")),
+            Generator("b", Ref("blacklist"), mode),
+            Guard(
+                Compare(
+                    "==",
+                    Attr(Ref("b"), "ip"),
+                    Attr(Ref("e"), "ip"),
+                )
+            ),
+        ),
+        kind=BAG,
+    )
+
+
+class TestPartitionPulling:
+    def test_join_keys_collected_for_both_sides(self):
+        uses = collect_partition_uses(_join_comp(), in_loop=True)
+        names = {(u.name, u.partner) for u in uses}
+        assert ("emails", "blacklist") in names
+        assert ("blacklist", "emails") in names
+
+    def test_loop_weighting(self):
+        in_loop = collect_partition_uses(_join_comp(), in_loop=True)
+        flat = collect_partition_uses(_join_comp(), in_loop=False)
+        assert in_loop[0].weight > flat[0].weight
+
+    def test_exists_generators_participate(self):
+        uses = collect_partition_uses(
+            _join_comp(exists=True), in_loop=False
+        )
+        assert any(u.name == "blacklist" for u in uses)
+
+    def test_group_by_key_collected(self):
+        expr = GroupByCall(
+            Ref("xs"), Lambda(("x",), Attr(Ref("x"), "k"))
+        )
+        uses = collect_partition_uses(expr, in_loop=False)
+        assert uses and uses[0].kind == "group"
+
+    def test_choose_requires_cached_join_partner(self):
+        uses = collect_partition_uses(_join_comp(), in_loop=True)
+        both = choose_partition_keys(
+            uses, {"emails", "blacklist"}
+        )
+        assert set(both) == {"emails", "blacklist"}
+        only_left = choose_partition_keys(uses, {"emails"})
+        assert only_left == {}
+
+    def test_group_uses_need_no_partner(self):
+        expr = GroupByCall(
+            Ref("xs"), Lambda(("x",), Attr(Ref("x"), "k"))
+        )
+        uses = collect_partition_uses(expr, in_loop=False)
+        chosen = choose_partition_keys(uses, {"xs"})
+        assert "xs" in chosen
+        assert isinstance(chosen["xs"], ScalarFn)
+
+    def test_weighted_majority_wins(self):
+        comp_a = _join_comp()
+        uses = collect_partition_uses(comp_a, in_loop=True)
+        # Add a competing flat-weight group key on a different field.
+        other = GroupByCall(
+            Ref("emails"), Lambda(("x",), Attr(Ref("x"), "sender"))
+        )
+        uses += collect_partition_uses(other, in_loop=False)
+        chosen = choose_partition_keys(
+            uses, {"emails", "blacklist"}
+        )
+        assert "ip" in chosen["emails"].describe()

@@ -1,0 +1,241 @@
+"""Tests for fold-group fusion (paper Section 4.2.2)."""
+
+from dataclasses import dataclass
+
+from repro.comprehension.exprs import (
+    AggByCall,
+    AlgebraSpec,
+    Attr,
+    BinOp,
+    Call,
+    Compare,
+    Const,
+    FoldCall,
+    GroupByCall,
+    Lambda,
+    MapCall,
+    Ref,
+    TupleExpr,
+    evaluate,
+    walk,
+)
+from repro.comprehension.ir import BAG, Comprehension, Generator, Guard
+from repro.comprehension.normalize import normalize
+from repro.comprehension.resugar import resugar
+from repro.core.databag import DataBag
+from repro.optimizer.fold_group_fusion import (
+    FusionStats,
+    fold_group_fusion,
+)
+
+
+@dataclass(frozen=True)
+class R:
+    k: int
+    v: int
+
+
+def _values_fold(g: str, alias: str, head=None) -> FoldCall:
+    source = Attr(Ref(g), "values")
+    if head is not None:
+        source = MapCall(source, Lambda(("x",), head))
+    return FoldCall(source, AlgebraSpec(alias))
+
+
+def _prepare(expr):
+    return normalize(resugar(expr))
+
+
+def _fuse(expr):
+    stats = FusionStats()
+    return fold_group_fusion(_prepare(expr), stats), stats
+
+
+def group_comp(head):
+    return Comprehension(
+        head=head,
+        qualifiers=(
+            Generator(
+                "g",
+                GroupByCall(
+                    Ref("xs"), Lambda(("x",), Attr(Ref("x"), "k"))
+                ),
+            ),
+        ),
+        kind=BAG,
+    )
+
+
+ENV = {"xs": DataBag([R(1, 10), R(1, 20), R(2, 5)])}
+
+
+class TestFusion:
+    def test_single_fold_fuses(self):
+        comp = group_comp(
+            TupleExpr(
+                (Attr(Ref("g"), "key"), _values_fold("g", "count"))
+            )
+        )
+        fused, stats = _fuse(comp)
+        assert stats.fused_groups == 1
+        aggs = [n for n in walk(fused) if isinstance(n, AggByCall)]
+        assert len(aggs) == 1
+        assert evaluate(fused, ENV) == evaluate(comp, ENV)
+
+    def test_multiple_folds_banana_split(self):
+        comp = group_comp(
+            TupleExpr(
+                (
+                    Attr(Ref("g"), "key"),
+                    _values_fold(
+                        "g", "sum", head=Attr(Ref("x"), "v")
+                    ),
+                    _values_fold("g", "count"),
+                )
+            )
+        )
+        fused, stats = _fuse(comp)
+        assert stats.fused_groups == 1
+        assert stats.fused_folds == 2
+        assert evaluate(fused, ENV) == evaluate(comp, ENV) == DataBag(
+            [(1, 30, 2), (2, 5, 1)]
+        )
+
+    def test_identical_folds_deduplicated(self):
+        count = _values_fold("g", "count")
+        comp = group_comp(
+            BinOp("+", count, count)
+        )
+        fused, stats = _fuse(comp)
+        assert stats.fused_folds == 1
+        assert evaluate(fused, ENV) == DataBag([4, 2])
+
+    def test_alpha_equivalent_folds_deduplicated(self):
+        # Two syntactically distinct map lambdas with the same meaning.
+        f1 = FoldCall(
+            MapCall(
+                Attr(Ref("g"), "values"),
+                Lambda(("a",), Attr(Ref("a"), "v")),
+            ),
+            AlgebraSpec("sum"),
+        )
+        f2 = FoldCall(
+            MapCall(
+                Attr(Ref("g"), "values"),
+                Lambda(("b",), Attr(Ref("b"), "v")),
+            ),
+            AlgebraSpec("sum"),
+        )
+        comp = group_comp(TupleExpr((f1, f2)))
+        fused, stats = _fuse(comp)
+        assert stats.fused_folds == 1
+
+    def test_guarded_fold_fuses_filter_into_singleton(self):
+        filtered = FoldCall(
+            MapCall(
+                Attr(Ref("g"), "values"),
+                Lambda(("x",), Attr(Ref("x"), "v")),
+            ),
+            AlgebraSpec("sum"),
+        )
+        # add a filter stage: sum of v where v > 7
+        from repro.comprehension.exprs import FilterCall
+
+        filtered = FoldCall(
+            MapCall(
+                FilterCall(
+                    Attr(Ref("g"), "values"),
+                    Lambda(
+                        ("x",),
+                        Compare(">", Attr(Ref("x"), "v"), Const(7)),
+                    ),
+                ),
+                Lambda(("x",), Attr(Ref("x"), "v")),
+            ),
+            AlgebraSpec("sum"),
+        )
+        comp = group_comp(
+            TupleExpr((Attr(Ref("g"), "key"), filtered))
+        )
+        fused, stats = _fuse(comp)
+        assert stats.fused_groups == 1
+        assert evaluate(fused, ENV) == evaluate(comp, ENV) == DataBag(
+            [(1, 30), (2, 0)]
+        )
+
+    def test_guards_on_aggregates_rewritten_too(self):
+        # HAVING-style: keep groups with count > 1.
+        comp = Comprehension(
+            head=Attr(Ref("g"), "key"),
+            qualifiers=(
+                Generator(
+                    "g",
+                    GroupByCall(
+                        Ref("xs"),
+                        Lambda(("x",), Attr(Ref("x"), "k")),
+                    ),
+                ),
+                Guard(
+                    Compare(
+                        ">", _values_fold("g", "count"), Const(1)
+                    )
+                ),
+            ),
+            kind=BAG,
+        )
+        fused, stats = _fuse(comp)
+        assert stats.fused_groups == 1
+        assert evaluate(fused, ENV) == DataBag([1])
+
+
+class TestConservatism:
+    def test_escaping_group_values_block_fusion(self):
+        # The raw values escape into the head: no fusion possible.
+        comp = group_comp(
+            TupleExpr(
+                (Attr(Ref("g"), "values"), _values_fold("g", "count"))
+            )
+        )
+        fused, stats = _fuse(comp)
+        assert stats.fused_groups == 0
+        assert not [
+            n for n in walk(fused) if isinstance(n, AggByCall)
+        ]
+
+    def test_bare_group_reference_blocks_fusion(self):
+        comp = group_comp(Ref("g"))
+        _fused, stats = _fuse(comp)
+        assert stats.fused_groups == 0
+
+    def test_no_folds_means_no_fusion(self):
+        comp = group_comp(Attr(Ref("g"), "key"))
+        _fused, stats = _fuse(comp)
+        assert stats.fused_groups == 0
+
+    def test_later_generator_over_values_blocks_fusion(self):
+        comp = Comprehension(
+            head=Ref("v"),
+            qualifiers=(
+                Generator(
+                    "g",
+                    GroupByCall(
+                        Ref("xs"),
+                        Lambda(("x",), Attr(Ref("x"), "k")),
+                    ),
+                ),
+                Generator("v", Attr(Ref("g"), "values")),
+            ),
+            kind=BAG,
+        )
+        _fused, stats = _fuse(comp)
+        assert stats.fused_groups == 0
+
+    def test_key_only_use_is_fine_alongside_folds(self):
+        comp = group_comp(
+            Call(
+                Const(lambda k, c: (k, c)),
+                (Attr(Ref("g"), "key"), _values_fold("g", "count")),
+            )
+        )
+        _fused, stats = _fuse(comp)
+        assert stats.fused_groups == 1

@@ -1,0 +1,65 @@
+"""Tests for the public API facade (`repro.api`)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+import repro
+from repro.api import (
+    CsvFormat,
+    DataBag,
+    EmmaError,
+    JsonLinesFormat,
+    StatefulBag,
+    read,
+    stateful,
+    write,
+)
+
+
+@dataclass(frozen=True)
+class Row:
+    id: int
+    name: str
+
+
+class TestHostModeHelpers:
+    def test_read_write_csv(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        fmt = CsvFormat(Row)
+        bag = DataBag([Row(1, "a"), Row(2, "b")])
+        write(path, fmt, bag)
+        assert read(path, fmt) == bag
+
+    def test_read_write_jsonl(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        fmt = JsonLinesFormat(Row)
+        bag = DataBag([Row(1, "a")])
+        write(path, fmt, bag)
+        assert read(path, fmt) == bag
+
+    def test_unsupported_format_rejected(self, tmp_path):
+        with pytest.raises(EmmaError, match="format"):
+            read(tmp_path / "x", object())
+        with pytest.raises(EmmaError, match="format"):
+            write(tmp_path / "x", object(), DataBag([1]))
+
+    def test_stateful_helper(self):
+        state = stateful(DataBag([Row(1, "a")]))
+        assert isinstance(state, StatefulBag)
+        assert state.get(1) == Row(1, "a")
+
+    def test_stateful_with_custom_key(self):
+        state = stateful(DataBag([(5, "x")]), key=lambda t: t[0])
+        assert state.get(5) == (5, "x")
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        import repro.api as api
+
+        for name in api.__all__:
+            assert hasattr(api, name), name

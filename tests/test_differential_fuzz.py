@@ -1,0 +1,222 @@
+"""Differential fuzzing: random pipelines, every backend, every config.
+
+Hypothesis generates random operator pipelines over integer bags —
+maps, filters, distinct, union/minus, correlated ``exists`` filters,
+group-aggregations — and the resulting IR is executed:
+
+* directly, via the expression interpreter (the semantic oracle);
+* compiled (resugar -> normalize -> fold-group fusion -> lower) and run
+  on the Spark-like and Flink-like engines, with unnesting and fusion
+  independently toggled.
+
+Every combination must produce the same multiset.  This is the
+paper's central soundness claim — the rewrites and the parallel
+lowering never change program meaning — exercised over a far larger
+program space than the hand-written workloads.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comprehension.exprs import (
+    AlgebraSpec,
+    Attr,
+    BinOp,
+    Compare,
+    Const,
+    DistinctCall,
+    FilterCall,
+    FoldCall,
+    GroupByCall,
+    Lambda,
+    MapCall,
+    MinusCall,
+    PlusCall,
+    Ref,
+    evaluate,
+)
+from repro.comprehension.ir import BAG, Comprehension, Generator
+from repro.comprehension.normalize import normalize
+from repro.comprehension.resugar import resugar
+from repro.core.databag import DataBag
+from repro.engines.cluster import ClusterConfig
+from repro.engines.flinklike import FlinkLikeEngine
+from repro.engines.sparklike import SparkLikeEngine
+from repro.lowering.combinators import CFold
+from repro.lowering.rules import lower
+from repro.optimizer.fold_group_fusion import fold_group_fusion
+
+# ---------------------------------------------------------------------------
+# Pipeline stages: each maps a bag-of-ints IR expression to another one.
+# ---------------------------------------------------------------------------
+
+
+def _stage_map(expr, k):
+    return MapCall(
+        expr, Lambda(("x",), BinOp("+", Ref("x"), Const(k)))
+    )
+
+
+def _stage_scale(expr, k):
+    return MapCall(
+        expr, Lambda(("x",), BinOp("*", Ref("x"), Const(k)))
+    )
+
+
+def _stage_mod(expr, k):
+    m = max(2, abs(k))
+    return MapCall(
+        expr, Lambda(("x",), BinOp("%", Ref("x"), Const(m)))
+    )
+
+
+def _stage_filter_gt(expr, k):
+    return FilterCall(
+        expr, Lambda(("x",), Compare(">", Ref("x"), Const(k)))
+    )
+
+
+def _stage_filter_even(expr, _k):
+    return FilterCall(
+        expr,
+        Lambda(
+            ("x",),
+            Compare("==", BinOp("%", Ref("x"), Const(2)), Const(0)),
+        ),
+    )
+
+
+def _stage_distinct(expr, _k):
+    return DistinctCall(expr)
+
+
+def _stage_union(expr, _k):
+    return PlusCall(expr, Ref("ys"))
+
+
+def _stage_minus(expr, _k):
+    return MinusCall(expr, Ref("ys"))
+
+
+def _stage_exists(expr, k):
+    # keep x if some y in ys has y % k == x % k  — a correlated
+    # existential that unnesting turns into a semi-join.
+    m = max(2, abs(k))
+    predicate = Lambda(
+        ("y",),
+        Compare(
+            "==",
+            BinOp("%", Ref("y"), Const(m)),
+            BinOp("%", Ref("x"), Const(m)),
+        ),
+    )
+    return FilterCall(
+        expr,
+        Lambda(
+            ("x",), FoldCall(Ref("ys"), AlgebraSpec("exists", (predicate,)))
+        ),
+    )
+
+
+def _stage_group_agg(expr, k):
+    # group by x % k; emit key + 3*count + sum — back to bag-of-ints.
+    m = max(2, abs(k))
+    values = Attr(Ref("g"), "values")
+    count = FoldCall(values, AlgebraSpec("count"))
+    total = FoldCall(values, AlgebraSpec("sum"))
+    head = BinOp(
+        "+",
+        Attr(Ref("g"), "key"),
+        BinOp("+", BinOp("*", count, Const(3)), total),
+    )
+    return Comprehension(
+        head=head,
+        qualifiers=(
+            Generator(
+                "g",
+                GroupByCall(
+                    expr,
+                    Lambda(("x",), BinOp("%", Ref("x"), Const(m))),
+                ),
+            ),
+        ),
+        kind=BAG,
+    )
+
+
+_STAGES = (
+    _stage_map,
+    _stage_scale,
+    _stage_mod,
+    _stage_filter_gt,
+    _stage_filter_even,
+    _stage_distinct,
+    _stage_union,
+    _stage_minus,
+    _stage_exists,
+    _stage_group_agg,
+)
+
+stage_descriptors = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(_STAGES) - 1),
+        st.integers(min_value=-4, max_value=6),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+int_bags = st.lists(
+    st.integers(min_value=-30, max_value=30), max_size=25
+)
+
+
+def build_pipeline(descriptors):
+    expr = Ref("xs")
+    for stage_index, k in descriptors:
+        expr = _STAGES[stage_index](expr, k)
+    return expr
+
+
+def run_compiled(expr, env, engine, unnest, fuse):
+    rewritten = normalize(resugar(expr), unnest_exists=unnest)
+    if fuse:
+        rewritten = fold_group_fusion(rewritten)
+    plan = lower(rewritten)
+    if isinstance(plan, CFold):
+        return engine.run_scalar(plan, env)
+    return DataBag(engine.collect(engine.defer(plan, env)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(stage_descriptors, int_bags, int_bags)
+def test_every_backend_and_config_matches_the_oracle(
+    descriptors, xs, ys
+):
+    expr = build_pipeline(descriptors)
+    env = {"xs": DataBag(xs), "ys": DataBag(ys)}
+    oracle = evaluate(expr, dict(env))
+
+    for engine_cls in (SparkLikeEngine, FlinkLikeEngine):
+        for unnest in (False, True):
+            for fuse in (False, True):
+                engine = engine_cls(
+                    cluster=ClusterConfig(num_workers=3)
+                )
+                result = run_compiled(
+                    expr, dict(env), engine, unnest, fuse
+                )
+                assert result == oracle, (
+                    f"{engine_cls.__name__} unnest={unnest} "
+                    f"fuse={fuse} diverged"
+                )
+
+
+@settings(max_examples=25, deadline=None)
+@given(stage_descriptors, int_bags, int_bags)
+def test_terminal_folds_match_the_oracle(descriptors, xs, ys):
+    expr = FoldCall(build_pipeline(descriptors), AlgebraSpec("sum"))
+    env = {"xs": DataBag(xs), "ys": DataBag(ys)}
+    oracle = evaluate(expr, dict(env))
+    engine = SparkLikeEngine(cluster=ClusterConfig(num_workers=4))
+    assert run_compiled(expr, dict(env), engine, True, True) == oracle

@@ -1,0 +1,114 @@
+"""Documentation quality gates.
+
+Every public module, class, and function in the library must carry a
+docstring, and the repository-level documents must exist and reference
+real artifacts.  These are cheap executable checks that keep the
+"documented public API" deliverable true as the code evolves.
+"""
+
+import importlib
+import inspect
+import pkgutil
+from pathlib import Path
+
+import pytest
+
+import repro
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def _public_modules():
+    out = []
+    for info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        if any(part.startswith("_") for part in info.name.split(".")):
+            continue
+        out.append(info.name)
+    return sorted(out)
+
+
+MODULES = _public_modules()
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_items_have_docstrings(module_name):
+    module = importlib.import_module(module_name)
+    missing = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-export; documented at its home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            missing.append(name)
+        if inspect.isclass(obj):
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(meth):
+                    continue
+                if meth.__doc__ and meth.__doc__.strip():
+                    continue
+                if _overrides_documented_base(obj, meth_name):
+                    continue  # inherits the base method's docs
+                missing.append(f"{name}.{meth_name}")
+    assert not missing, f"{module_name}: undocumented {missing}"
+
+
+def _overrides_documented_base(cls, meth_name: str) -> bool:
+    for base in cls.__mro__[1:]:
+        base_meth = base.__dict__.get(meth_name)
+        if base_meth is not None:
+            doc = getattr(base_meth, "__doc__", None)
+            return bool(doc and doc.strip())
+    return False
+
+
+class TestRepositoryDocuments:
+    def test_required_documents_exist(self):
+        for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+            path = REPO_ROOT / doc
+            assert path.exists(), doc
+            assert len(path.read_text()) > 1000, doc
+
+    def test_design_lists_every_experiment(self):
+        design = (REPO_ROOT / "DESIGN.md").read_text()
+        for marker in (
+            "Table 1",
+            "Figure 4",
+            "Figure 5",
+            "kmeans",
+            "tpch",
+        ):
+            assert marker in design, marker
+
+    def test_experiments_reports_paper_vs_measured(self):
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+        assert "paper" in text
+        assert "DNF" in text
+        assert "5/5 rows match" in text
+
+    def test_readme_commands_reference_real_paths(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert (REPO_ROOT / "examples" / "quickstart.py").exists()
+        assert "pytest tests/" in readme
+        assert "pytest benchmarks/ --benchmark-only" in readme
+
+    def test_benchmarks_cover_every_paper_artifact(self):
+        bench_dir = REPO_ROOT / "benchmarks"
+        names = {p.name for p in bench_dir.glob("test_*.py")}
+        assert "test_table1_applicability.py" in names
+        assert "test_figure4_workflow.py" in names
+        assert "test_figure5_group_fusion.py" in names
+        assert "test_sec52_iterative.py" in names
+        assert "test_sec52_tpch.py" in names

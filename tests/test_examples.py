@@ -1,0 +1,35 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are part of the public deliverable; each one asserts its own
+correctness internally (oracle comparisons), so a clean exit is a
+meaningful check.  They run as subprocesses to exercise the real
+`python examples/<name>.py` path, including source lifting from files.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_cleanly(name):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{name} failed:\n{proc.stdout[-2000:]}\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{name} produced no output"

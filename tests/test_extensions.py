@@ -1,0 +1,217 @@
+"""Tests for the domain APIs layered on DataBag (paper §7 future work)."""
+
+import math
+from collections import defaultdict
+
+import pytest
+
+from repro.api import (
+    DataBag,
+    FlinkLikeEngine,
+    LocalEngine,
+    SparkLikeEngine,
+)
+from repro.engines.dfs import SimulatedDFS
+from repro.extensions.graph import (
+    VertexProgram,
+    _superstep_loop,
+    max_label_program,
+    pagerank_program,
+    run_vertex_program,
+)
+from repro.extensions.linalg import (
+    MatrixEntry,
+    VectorEntry,
+    _matvec,
+    matvec,
+    power_iteration,
+    vector_norm,
+)
+from repro.workloads import graphs
+from repro.workloads.pagerank import pagerank
+
+
+@pytest.fixture(scope="module")
+def world():
+    dfs = SimulatedDFS()
+    follower = graphs.stage_follower_graph(
+        dfs, num_vertices=80, edges_per_vertex=3, seed=51
+    )
+    cc = "ext/cc"
+    dfs.put(
+        cc, graphs.generate_component_graph(60, num_components=3, seed=53)
+    )
+    return {"dfs": dfs, "follower": follower, "cc": cc}
+
+
+def _local(world):
+    engine = LocalEngine()
+    engine.dfs = world["dfs"]
+    return engine
+
+
+class TestVertexPrograms:
+    def test_pagerank_matches_handwritten_workload(self, world):
+        n = 80
+        via_api = run_vertex_program(
+            pagerank_program(n),
+            world["follower"],
+            engine=_local(world),
+            max_supersteps=5,
+        )
+        reference = pagerank.run(
+            _local(world),
+            graph_path=world["follower"],
+            num_pages=n,
+            max_iterations=5,
+        )
+        got = {s.id: s.value for s in via_api}
+        want = {r.id: r.rank for r in reference}
+        assert got.keys() == want.keys()
+        for vid in got:
+            assert got[vid] == pytest.approx(want[vid], rel=1e-12)
+
+    @pytest.mark.parametrize(
+        "engine_cls",
+        [SparkLikeEngine, FlinkLikeEngine],
+        ids=["spark", "flink"],
+    )
+    def test_backends_agree(self, world, engine_cls):
+        n = 80
+        oracle = run_vertex_program(
+            pagerank_program(n),
+            world["follower"],
+            engine=_local(world),
+            max_supersteps=4,
+        )
+        parallel = run_vertex_program(
+            pagerank_program(n),
+            world["follower"],
+            engine=engine_cls(dfs=world["dfs"]),
+            max_supersteps=4,
+        )
+        got = {s.id: s.value for s in parallel}
+        for s in oracle:
+            assert got[s.id] == pytest.approx(s.value, rel=1e-9)
+
+    def test_connected_components_semi_naive(self, world):
+        result = run_vertex_program(
+            max_label_program(),
+            world["cc"],
+            engine=SparkLikeEngine(dfs=world["dfs"]),
+            max_supersteps=100,
+        )
+        vertices = world["dfs"].get(world["cc"]).records
+        parent = {v.id: v.id for v in vertices}
+
+        def find(a):
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        for v in vertices:
+            for nb in v.neighbors:
+                parent[find(v.id)] = find(nb)
+        expected_components = len({find(v.id) for v in vertices})
+        assert (
+            len({s.value for s in result}) == expected_components == 3
+        )
+
+    def test_generic_superstep_gets_fold_group_fusion(self):
+        report = _superstep_loop.report()
+        assert report.fold_group_fusion_applied
+
+    def test_max_supersteps_bounds_non_semi_naive_runs(self, world):
+        program = pagerank_program(80)
+        engine = SparkLikeEngine(dfs=world["dfs"])
+        run_vertex_program(
+            program, world["follower"], engine=engine, max_supersteps=2
+        )
+        # Two supersteps -> bounded number of jobs (no runaway loop).
+        assert engine.metrics.jobs_submitted < 20
+
+    def test_custom_program(self, world):
+        # Min-label propagation: same machinery, different fold.
+        program = VertexProgram(
+            init=lambda v: v.id,
+            send=lambda s, _d: s.value,
+            combine_zero=1 << 30,
+            combine_lift=lambda m: m,
+            combine_merge=min,
+            apply=lambda s, label: label if label < s.value else None,
+            semi_naive=True,
+        )
+        result = run_vertex_program(
+            program, world["cc"], engine=_local(world), max_supersteps=100
+        )
+        labels_per_component: dict = defaultdict(set)
+        for s in result:
+            labels_per_component[s.value].add(s.id)
+        assert len(labels_per_component) == 3
+        # Each component's label is its minimum member id.
+        for label, members in labels_per_component.items():
+            assert label == min(members)
+
+
+class TestLinalg:
+    def _dense(self, rows):
+        """rows: list of lists -> MatrixEntry bag."""
+        return DataBag(
+            MatrixEntry(i, j, v)
+            for i, row in enumerate(rows)
+            for j, v in enumerate(row)
+            if v != 0
+        )
+
+    def _vec(self, values):
+        return DataBag(
+            VectorEntry(i, v) for i, v in enumerate(values) if v != 0
+        )
+
+    def test_matvec_matches_dense_computation(self):
+        a = [[1.0, 2.0, 0.0], [0.0, 3.0, 4.0], [5.0, 0.0, 6.0]]
+        x = [1.0, -1.0, 2.0]
+        result = matvec(self._dense(a), self._vec(x))
+        got = {e.index: e.value for e in result}
+        for i, row in enumerate(a):
+            expected = sum(v * x[j] for j, v in enumerate(row))
+            assert got.get(i, 0.0) == pytest.approx(expected)
+
+    def test_matvec_on_parallel_engine(self):
+        a = self._dense([[2.0, 0.0], [1.0, 1.0]])
+        x = self._vec([3.0, 4.0])
+        local = matvec(a, x)
+        spark = matvec(a, x, engine=SparkLikeEngine())
+        assert {(e.index, e.value) for e in local} == {
+            (e.index, e.value) for e in spark
+        }
+
+    def test_matvec_plan_is_join_plus_aggby(self):
+        report = _matvec.report()
+        assert report.fold_group_fusion_applied
+        assert "EqJoin" in _matvec.explain()
+        assert "AggBy" in _matvec.explain()
+
+    def test_vector_norm(self):
+        assert vector_norm(self._vec([3.0, 4.0])) == pytest.approx(5.0)
+
+    def test_power_iteration_finds_dominant_eigenvector(self):
+        # diag(5, 1): dominant eigenvector is e0.
+        a = self._dense([[5.0, 0.0], [0.0, 1.0]])
+        result = power_iteration(a, dimension=2, iterations=25)
+        got = {e.index: e.value for e in result}
+        assert abs(got[0]) == pytest.approx(1.0, abs=1e-6)
+        assert abs(got.get(1, 0.0)) < 1e-6
+
+    def test_power_iteration_symmetric_matrix(self):
+        # [[2,1],[1,2]] has dominant eigenvector (1,1)/sqrt(2), λ=3.
+        a = self._dense([[2.0, 1.0], [1.0, 2.0]])
+        result = power_iteration(
+            a, dimension=2, iterations=30, engine=FlinkLikeEngine()
+        )
+        got = {e.index: e.value for e in result}
+        assert abs(got[0]) == pytest.approx(
+            1 / math.sqrt(2), rel=1e-4
+        )
+        assert got[0] == pytest.approx(got[1], rel=1e-4)

@@ -1,0 +1,88 @@
+"""Reproduction of Table 1: which optimizations apply to which program.
+
+The paper's Table 1 lists, for each evaluated program, the
+optimizations that apply (marked X).  Here the *compiler itself* is the
+oracle: compiling each workload and reading the optimization report
+must reproduce the table exactly.
+
+| Program          | Unnesting | Group Fusion | Cache | Partition Pulling |
+|------------------|-----------|--------------|-------|-------------------|
+| Spam workflow    |     X     |      x       |   X   |         X         |
+| k-means          |     x     |      X       |   X   |         x         |
+| PageRank         |     x     |      X       |   X   |         x         |
+| TPC-H Q1         |     x     |      X       |   x   |         x         |
+| TPC-H Q4         |     X     |      X       |   x   |         x         |
+"""
+
+import pytest
+
+from repro.workloads.connected_components import connected_components
+from repro.workloads.groupagg import group_min
+from repro.workloads.kmeans import kmeans
+from repro.workloads.pagerank import pagerank
+from repro.workloads.spam import select_classifier
+from repro.workloads.tpch import tpch_q1, tpch_q4
+
+PAPER_TABLE_1 = {
+    "spam_workflow": {
+        "unnesting": True,
+        "fold_group_fusion": False,
+        "caching": True,
+        "partition_pulling": True,
+    },
+    "kmeans": {
+        "unnesting": False,
+        "fold_group_fusion": True,
+        "caching": True,
+        "partition_pulling": False,
+    },
+    "pagerank": {
+        "unnesting": False,
+        "fold_group_fusion": True,
+        "caching": True,
+        "partition_pulling": False,
+    },
+    "tpch_q1": {
+        "unnesting": False,
+        "fold_group_fusion": True,
+        "caching": False,
+        "partition_pulling": False,
+    },
+    "tpch_q4": {
+        "unnesting": True,
+        "fold_group_fusion": True,
+        "caching": False,
+        "partition_pulling": False,
+    },
+}
+
+ALGORITHMS = {
+    "spam_workflow": select_classifier,
+    "kmeans": kmeans,
+    "pagerank": pagerank,
+    "tpch_q1": tpch_q1,
+    "tpch_q4": tpch_q4,
+}
+
+
+@pytest.mark.parametrize("program", sorted(PAPER_TABLE_1))
+def test_table1_row(program):
+    report = ALGORITHMS[program].report()
+    assert report.table1_row() == PAPER_TABLE_1[program], program
+
+
+def test_table1_renders():
+    """The full matrix, as a sanity-check artifact."""
+    rows = {
+        name: algo.report().table1_row()
+        for name, algo in ALGORITHMS.items()
+    }
+    assert rows == PAPER_TABLE_1
+
+
+def test_additional_programs_have_sensible_reports():
+    cc = connected_components.report()
+    assert cc.fold_group_fusion_applied
+    gm = group_min.report()
+    assert gm.fold_group_fusion_applied
+    assert not gm.unnesting_applied

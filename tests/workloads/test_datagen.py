@@ -1,0 +1,171 @@
+"""Tests for the synthetic data generators."""
+
+from collections import Counter
+
+import pytest
+
+from repro.engines.dfs import SimulatedDFS
+from repro.workloads import datagen
+from repro.workloads.datagen import (
+    PARETO_HOT_FRACTION,
+    extract_features,
+    generate_blacklist,
+    generate_emails,
+    generate_keyed_tuples,
+    generate_points,
+)
+from repro.workloads.graphs import (
+    generate_component_graph,
+    generate_follower_graph,
+)
+from repro.workloads.tpch.datagen import generate_tpch
+from repro.workloads.tpch.schema import ORDER_PRIORITIES
+
+
+class TestEmails:
+    def test_deterministic(self):
+        assert generate_emails(50, seed=1) == generate_emails(50, seed=1)
+        assert generate_emails(50, seed=1) != generate_emails(50, seed=2)
+
+    def test_ip_range_respected(self):
+        emails = generate_emails(100, num_ips=10)
+        assert all(0 <= e.ip < 10 for e in emails)
+
+    def test_extract_features_is_deterministic_and_keyed(self):
+        (raw,) = generate_emails(1)
+        a, b = extract_features(raw), extract_features(raw)
+        assert a == b
+        assert a.id == raw.id and a.ip == raw.ip
+        assert len(a.features) == 5
+
+    def test_blacklist_ips_distinct(self):
+        bl = generate_blacklist(50, num_ips=100)
+        ips = [b.ip for b in bl]
+        assert len(set(ips)) == len(ips)
+
+    def test_blacklist_capped_by_ip_space(self):
+        assert len(generate_blacklist(100, num_ips=7)) == 7
+
+    def test_stage_spam_inputs(self):
+        dfs = SimulatedDFS()
+        ep, bp = datagen.stage_spam_inputs(
+            dfs, num_emails=10, num_blacklisted=3, num_ips=20
+        )
+        assert dfs.exists(ep) and dfs.exists(bp)
+        assert len(dfs.get(ep).records) == 10
+
+
+class TestPoints:
+    def test_points_cluster_around_centers(self):
+        points = generate_points(300, centers=3, dim=2, spread=0.5)
+        assert len(points) == 300
+        # Points of one residue class share a center: tight spread.
+        cluster = [p for p in points if p.id % 3 == 0]
+        xs = [p.pos[0] for p in cluster]
+        mean = sum(xs) / len(xs)
+        assert all(abs(x - mean) < 5 for x in xs)
+
+    def test_ids_unique(self):
+        points = generate_points(100)
+        assert len({p.id for p in points}) == 100
+
+
+class TestKeyedTuples:
+    def test_uniform_spreads_keys(self):
+        rows = generate_keyed_tuples(
+            3000, num_keys=10, distribution="uniform"
+        )
+        counts = Counter(r.key for r in rows)
+        assert len(counts) == 10
+        assert max(counts.values()) < 2.0 * min(counts.values())
+
+    def test_gaussian_prefers_middle_keys(self):
+        rows = generate_keyed_tuples(
+            3000, num_keys=100, distribution="gaussian"
+        )
+        counts = Counter(r.key for r in rows)
+        middle = sum(counts.get(k, 0) for k in range(40, 60))
+        edges = sum(counts.get(k, 0) for k in range(0, 20))
+        assert middle > 2 * edges
+
+    def test_pareto_hot_key_fraction(self):
+        rows = generate_keyed_tuples(
+            5000, num_keys=100, distribution="pareto"
+        )
+        counts = Counter(r.key for r in rows)
+        hot = counts[0] / len(rows)
+        assert abs(hot - PARETO_HOT_FRACTION) < 0.05
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError, match="distribution"):
+            generate_keyed_tuples(10, distribution="zipf")
+
+    def test_payload_sizes(self):
+        rows = generate_keyed_tuples(100)
+        assert all(3 <= len(r.payload) <= 10 for r in rows)
+
+
+class TestGraphs:
+    def test_follower_graph_shape(self):
+        vertices = generate_follower_graph(200, edges_per_vertex=3)
+        assert len(vertices) == 200
+        assert all(v.neighbors for v in vertices)
+        assert all(v.id not in v.neighbors for v in vertices)
+
+    def test_follower_graph_is_heavy_tailed(self):
+        vertices = generate_follower_graph(500, edges_per_vertex=3)
+        indeg = Counter()
+        for v in vertices:
+            for n in v.neighbors:
+                indeg[n] += 1
+        top = max(indeg.values())
+        median = sorted(indeg.values())[len(indeg) // 2]
+        assert top > 10 * max(median, 1)
+
+    def test_follower_graph_needs_two_vertices(self):
+        with pytest.raises(ValueError):
+            generate_follower_graph(1)
+
+    def test_component_graph_has_expected_components(self):
+        vertices = generate_component_graph(60, num_components=4)
+        # Union-find ground truth.
+        parent = {v.id: v.id for v in vertices}
+
+        def find(a):
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        for v in vertices:
+            for n in v.neighbors:
+                parent[find(v.id)] = find(n)
+        assert len({find(v.id) for v in vertices}) == 4
+
+    def test_component_graph_symmetric_adjacency(self):
+        vertices = generate_component_graph(40, num_components=2)
+        adj = {v.id: set(v.neighbors) for v in vertices}
+        for v in vertices:
+            for n in v.neighbors:
+                assert v.id in adj[n]
+
+
+class TestTpchGenerator:
+    def test_row_counts_scale(self):
+        orders1, items1 = generate_tpch(0.1)
+        orders2, items2 = generate_tpch(0.2)
+        assert len(orders2) == 2 * len(orders1)
+        assert 1 <= len(items1) / len(orders1) <= 7
+
+    def test_schema_invariants(self):
+        orders, items = generate_tpch(0.05)
+        order_keys = {o.order_key for o in orders}
+        assert len(order_keys) == len(orders)
+        assert all(i.order_key in order_keys for i in items)
+        assert all(o.order_priority in ORDER_PRIORITIES for o in orders)
+        assert all(0 <= i.discount <= 0.10 for i in items)
+        assert all(i.ship_date > "1992-01-01" for i in items)
+        assert all(i.receipt_date > i.ship_date for i in items)
+
+    def test_deterministic(self):
+        assert generate_tpch(0.05) == generate_tpch(0.05)

@@ -1,0 +1,95 @@
+"""Tests for the Vec vector type."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.linalg import Vec
+
+coords = st.lists(
+    st.floats(
+        min_value=-100, max_value=100, allow_nan=False
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        assert Vec.of(1, 2) + Vec.of(3, 4) == Vec.of(4, 6)
+        assert Vec.of(3, 4) - Vec.of(1, 2) == Vec.of(2, 2)
+
+    def test_scalar_mul_div(self):
+        assert 2 * Vec.of(1, 2) == Vec.of(2, 4)
+        assert Vec.of(1, 2) * 2 == Vec.of(2, 4)
+        assert Vec.of(2, 4) / 2 == Vec.of(1, 2)
+
+    def test_radd_zero_enables_sum(self):
+        vecs = [Vec.of(1, 0), Vec.of(2, 3)]
+        assert sum(vecs) == Vec.of(3, 3)
+
+    def test_zeros(self):
+        assert Vec.zeros(3) == Vec.of(0, 0, 0)
+
+    def test_unsupported_operand(self):
+        with pytest.raises(TypeError):
+            Vec.of(1) + 3
+
+
+class TestGeometry:
+    def test_dot_norm(self):
+        assert Vec.of(3, 4).norm() == pytest.approx(5.0)
+        assert Vec.of(1, 2).dot(Vec.of(3, 4)) == 11
+
+    def test_distances(self):
+        a, b = Vec.of(0, 0), Vec.of(3, 4)
+        assert a.distance_to(b) == pytest.approx(5.0)
+        assert a.squared_distance_to(b) == pytest.approx(25.0)
+
+
+class TestProtocol:
+    def test_immutability(self):
+        v = Vec.of(1)
+        with pytest.raises(AttributeError):
+            v.components = (2,)
+
+    def test_hashable_and_eq(self):
+        assert hash(Vec.of(1, 2)) == hash(Vec.of(1, 2))
+        assert Vec.of(1) != Vec.of(2)
+        assert Vec.of(1) != (1,)
+
+    def test_len_iter_getitem(self):
+        v = Vec.of(5, 6)
+        assert len(v) == 2
+        assert list(v) == [5.0, 6.0]
+        assert v[1] == 6.0
+
+    def test_repr(self):
+        assert "Vec(" in repr(Vec.of(1.5))
+
+
+@given(coords, coords)
+def test_addition_commutes(a, b):
+    n = min(len(a), len(b))
+    va, vb = Vec(a[:n]), Vec(b[:n])
+    assert va + vb == vb + va
+
+
+@given(coords)
+def test_norm_non_negative(a):
+    assert Vec(a).norm() >= 0
+
+
+@given(coords)
+def test_distance_to_self_is_zero(a):
+    v = Vec(a)
+    assert v.distance_to(v) == pytest.approx(0.0, abs=1e-9)
+
+
+@given(coords, st.floats(min_value=0.1, max_value=10, allow_nan=False))
+def test_scaling_scales_norm(a, k):
+    v = Vec(a)
+    assert (k * v).norm() == pytest.approx(k * v.norm(), rel=1e-6)
