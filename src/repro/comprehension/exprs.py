@@ -27,6 +27,8 @@ Nodes are immutable; transformations build new trees.
 from __future__ import annotations
 
 import dataclasses
+import keyword
+import math
 import operator
 from dataclasses import dataclass, fields
 from typing import Any, Callable, Iterator, Mapping
@@ -443,6 +445,195 @@ class Lambda(Expr):
             return body.evaluate(env.child(dict(zip(params, values))))
 
         return closure
+
+
+# ---------------------------------------------------------------------------
+# Native compilation of scalar expressions
+#
+# The tree-walking ``evaluate`` above is the semantic oracle, but it is
+# far too slow for the per-element hot path of the simulated engines: a
+# UDF applied to a million records re-walks its AST a million times.
+# ``compile_scalar`` renders the scalar subset of the language as Python
+# source and compiles it with ``compile()`` into a plain function, so
+# the hot path runs at host speed.  Anything outside the subset (bag
+# operators, comprehensions) — or a free name that cannot be resolved
+# eagerly — makes compilation return ``None`` and callers fall back to
+# the interpreting closure; semantics are identical either way.
+# ---------------------------------------------------------------------------
+
+
+class NotCompilable(Exception):
+    """An expression outside the natively compilable scalar subset."""
+
+
+#: operators whose IR spelling is also their Python spelling
+_PY_BIN = frozenset(_BIN_OPS)
+_PY_CMP = frozenset(_CMP_OPS)
+_CONST_PREFIX = "_cv"
+
+
+def _is_plain_name(name: str) -> bool:
+    return name.isidentifier() and not keyword.iskeyword(name)
+
+
+class NativeCodegen:
+    """Renders scalar ``Expr`` trees as Python source fragments.
+
+    Host values (constants, resolved free names) are interned into
+    ``globals_`` — the namespace the generated code is compiled
+    against.  One codegen instance may serve several expressions (the
+    chain kernel builder relies on this to share one namespace), so
+    interned constants get collision-free ``_cv<N>`` names and free
+    names are checked for conflicting bindings.
+    """
+
+    def __init__(self) -> None:
+        self.globals_: dict[str, Any] = {}
+        self._const_names: dict[int, str] = {}
+
+    # -- host-value interning ---------------------------------------------
+
+    def intern_const(self, value: Any) -> str:
+        """Expose a host constant under a fresh ``_cv{N}`` global name."""
+        name = self._const_names.get(id(value))
+        if name is None:
+            name = f"{_CONST_PREFIX}{len(self._const_names)}"
+            self._const_names[id(value)] = name
+            self.globals_[name] = value
+        return name
+
+    def bind_free(self, name: str, value: Any) -> None:
+        """Bind a free name into the namespace; reject conflicts."""
+        if not _is_plain_name(name) or name.startswith(_CONST_PREFIX):
+            raise NotCompilable(name)
+        if name in self.globals_ and self.globals_[name] is not value:
+            raise NotCompilable(f"conflicting binding for {name!r}")
+        self.globals_[name] = value
+
+    # -- source emission --------------------------------------------------
+
+    def emit(self, expr: Expr, bound: Mapping[str, str], resolve) -> str:
+        """Python source for ``expr``.
+
+        ``bound`` maps bound variable names to the local names they
+        carry in the generated code; ``resolve(name)`` supplies the
+        value of a free name (raising ``KeyError``/``ComprehensionError``
+        when unbound aborts compilation).
+        """
+        if isinstance(expr, Const):
+            value = expr.value
+            # Literal-render the common immutable scalars (non-finite
+            # floats have no literal spelling); intern the rest.
+            if value is None or isinstance(value, (bool, int, str)):
+                return repr(value)
+            if isinstance(value, float) and math.isfinite(value):
+                return repr(value)
+            return self.intern_const(value)
+        if isinstance(expr, Ref):
+            target = bound.get(expr.name)
+            if target is not None:
+                return target
+            try:
+                value = resolve(expr.name)
+            except (KeyError, ComprehensionError):
+                raise NotCompilable(expr.name)
+            self.bind_free(expr.name, value)
+            return expr.name
+        if isinstance(expr, Attr):
+            if not _is_plain_name(expr.name):
+                raise NotCompilable(expr.name)
+            return f"({self.emit(expr.obj, bound, resolve)}).{expr.name}"
+        if isinstance(expr, Index):
+            obj = self.emit(expr.obj, bound, resolve)
+            index = self.emit(expr.index, bound, resolve)
+            return f"({obj})[{index}]"
+        if isinstance(expr, TupleExpr):
+            items = [self.emit(i, bound, resolve) for i in expr.items]
+            inner = ", ".join(items) + ("," if len(items) == 1 else "")
+            return f"({inner})"
+        if isinstance(expr, ListExpr):
+            items = [self.emit(i, bound, resolve) for i in expr.items]
+            return f"[{', '.join(items)}]"
+        if isinstance(expr, BinOp):
+            if expr.op not in _PY_BIN:
+                raise NotCompilable(expr.op)
+            left = self.emit(expr.left, bound, resolve)
+            right = self.emit(expr.right, bound, resolve)
+            return f"({left} {expr.op} {right})"
+        if isinstance(expr, UnaryOp):
+            if expr.op not in ("-", "not"):
+                raise NotCompilable(expr.op)
+            operand = self.emit(expr.operand, bound, resolve)
+            return f"({expr.op} {operand})"
+        if isinstance(expr, Compare):
+            if expr.op not in _PY_CMP:
+                raise NotCompilable(expr.op)
+            left = self.emit(expr.left, bound, resolve)
+            right = self.emit(expr.right, bound, resolve)
+            return f"({left} {expr.op} {right})"
+        if isinstance(expr, BoolOp):
+            if expr.op not in ("and", "or") or not expr.operands:
+                raise NotCompilable(expr.op)
+            parts = [
+                self.emit(p, bound, resolve) for p in expr.operands
+            ]
+            return f"({f' {expr.op} '.join(parts)})"
+        if isinstance(expr, IfElse):
+            then = self.emit(expr.then, bound, resolve)
+            cond = self.emit(expr.cond, bound, resolve)
+            orelse = self.emit(expr.orelse, bound, resolve)
+            return f"({then} if {cond} else {orelse})"
+        if isinstance(expr, Call):
+            func = self.emit(expr.func, bound, resolve)
+            parts = [self.emit(a, bound, resolve) for a in expr.args]
+            for k, v in expr.kwargs:
+                if not _is_plain_name(k):
+                    raise NotCompilable(k)
+                parts.append(f"{k}={self.emit(v, bound, resolve)}")
+            return f"({func})({', '.join(parts)})"
+        if isinstance(expr, Lambda):
+            for p in expr.params:
+                if not _is_plain_name(p) or p.startswith(_CONST_PREFIX):
+                    raise NotCompilable(p)
+            inner = dict(bound)
+            inner.update({p: p for p in expr.params})
+            body = self.emit(expr.body, inner, resolve)
+            return f"(lambda {', '.join(expr.params)}: {body})"
+        raise NotCompilable(type(expr).__name__)
+
+
+def compile_scalar(
+    params: tuple[str, ...],
+    body: Expr,
+    env: "Env | Mapping[str, Any] | None",
+) -> Callable | None:
+    """Compile ``lambda params: body`` into a plain Python function.
+
+    Free names are resolved *eagerly* from ``env`` and closed over via
+    the compiled function's globals.  Returns ``None`` when the body
+    falls outside the scalar subset or a free name is unbound — the
+    caller keeps the interpreting closure in that case.
+    """
+    env = Env.of(env)
+    codegen = NativeCodegen()
+    try:
+        for p in params:
+            if not _is_plain_name(p) or p.startswith(_CONST_PREFIX):
+                return None
+        bound = {p: p for p in params}
+        src = codegen.emit(body, bound, env.lookup)
+    except NotCompilable:
+        return None
+    return compile_scalar_source(params, src, codegen.globals_)
+
+
+def compile_scalar_source(
+    params: tuple[str, ...], body_src: str, namespace: dict[str, Any]
+) -> Callable:
+    """``compile()`` an already-rendered body over ``namespace``."""
+    source = f"lambda {', '.join(params)}: {body_src}"
+    code = compile(source, "<scalarfn>", "eval")
+    return eval(code, namespace)  # noqa: S307 - compiler-generated source
 
 
 # ---------------------------------------------------------------------------

@@ -102,6 +102,12 @@ class Engine:
     #: per-task driver-side scheduling overhead, seconds (centralized
     #: scheduling makes this grow with the number of partitions)
     task_overhead = 0.0
+    #: whether the engine runs fused operator chains as one physical
+    #: task (Flink's pipelined chains, Spark's fused narrow stages);
+    #: when False a CChain still streams records through one kernel but
+    #: is charged the per-operator scheduling overhead it would have
+    #: paid unfused
+    pipelined_chains = True
     #: extra element-op factor for materializing groups (groupBy)
     group_materialize_factor = 1.0
     #: whether groupBy materialization is bounded by worker memory

@@ -24,6 +24,14 @@ from typing import TYPE_CHECKING, Any, Callable
 from repro.comprehension.exprs import Env
 from repro.core.databag import DataBag
 from repro.core.grp import Grp
+from repro.engines.chainkernel import (
+    FILTER,
+    FLATMAP,
+    MAP,
+    ChainKernel,
+    KernelStep,
+    build_chain_kernel,
+)
 from repro.engines.cluster import (
     PartitionedBag,
     Partitioner,
@@ -36,6 +44,7 @@ from repro.lowering.combinators import (
     AggResult,
     CAggBy,
     CBagRef,
+    CChain,
     CCross,
     CDistinct,
     CEqJoin,
@@ -63,11 +72,40 @@ def _attr_key(var: str, attr: str) -> ScalarFn:
     return ScalarFn((var,), Attr(Ref(var), attr))
 
 
+class _CompiledUdf:
+    """A UDF closed over the driver env, with its compilation context.
+
+    Beyond the ``(callable, extra)`` pair the operators consume, the
+    record keeps the post-hoist UDF and its resolved bindings so the
+    chain-kernel builder can inline the body into fused kernel source.
+    """
+
+    __slots__ = ("fn", "bindings", "closure", "extra", "native")
+
+    def __init__(
+        self,
+        fn: ScalarFn,
+        bindings: dict[str, Any],
+        closure: Callable,
+        extra: int,
+        native: bool,
+    ) -> None:
+        self.fn = fn
+        self.bindings = bindings
+        self.closure = closure
+        self.extra = extra
+        self.native = native
+
+
 class JobExecutor:
     """Executes one dataflow job on a simulated engine."""
 
     def __init__(
-        self, engine: "Engine", env: dict[str, Any], job: JobRun
+        self,
+        engine: "Engine",
+        env: dict[str, Any],
+        job: JobRun,
+        shared_state: dict[str, Any] | None = None,
     ) -> None:
         self.engine = engine
         self.env = env
@@ -76,6 +114,21 @@ class JobExecutor:
         self.num_workers = engine.cluster.num_workers
         self._broadcast_memo: dict[int, DataBag] = {}
         self._worker_group_bytes = [0] * self.num_workers
+        #: per-job DAG memo: a shared subplan (same combinator object
+        #: consumed by several parents — diamond plans) executes once
+        self._dag_memo: dict[int, PartitionedBag] = {}
+        #: per-job UDF compilation memo (by ScalarFn identity)
+        self._udf_memo: dict[int, tuple[ScalarFn, _CompiledUdf]] = {}
+        self._bindings_memo: dict[
+            frozenset[str], tuple[dict[str, Any], int]
+        ] = {}
+        self._kernel_memo: dict[int, ChainKernel] = {}
+        # State shared with nested executors spawned for lazy lineages
+        # within the *same* job (so one DeferredBag consumed twice in a
+        # job — a self-join over a lazy bag — executes once).
+        self._shared_state = (
+            shared_state if shared_state is not None else {"deferred": {}}
+        )
 
     # -- entry points ------------------------------------------------------
 
@@ -94,6 +147,11 @@ class JobExecutor:
     # -- recursion ------------------------------------------------------------
 
     def _exec(self, comb: Combinator) -> PartitionedBag:
+        memo_key = id(comb)
+        hit = self._dag_memo.get(memo_key)
+        if hit is not None:
+            self.engine.metrics.dag_memo_hits += 1
+            return hit
         self.job.charge_driver(
             self.engine.task_overhead * self.parallelism
         )
@@ -105,6 +163,7 @@ class JobExecutor:
         bag = handler(self, comb)
         if comb.partition_hint is not None:
             bag = self.shuffle_by_key(bag, comb.partition_hint)
+        self._dag_memo[memo_key] = bag
         return bag
 
     def _worker_of(self, partition_index: int) -> int:
@@ -150,9 +209,22 @@ class JobExecutor:
                 # A forced thunk is driver-local data; ship it back.
                 return self.parallelize_local(value.force_local())
             # Lazy lineage: inline the recipe into this job (Spark/Flink
-            # lazy-evaluation semantics — recomputed on every use).
-            nested = JobExecutor(self.engine, value.env, self.job)
-            return nested.run_bag(value.root)
+            # lazy-evaluation semantics — recomputed per *job*, but a
+            # thunk consumed several times within one job runs once).
+            deferred_memo = self._shared_state["deferred"]
+            hit = deferred_memo.get(id(value))
+            if hit is not None:
+                self.engine.metrics.dag_memo_hits += 1
+                return hit
+            nested = JobExecutor(
+                self.engine,
+                value.env,
+                self.job,
+                shared_state=self._shared_state,
+            )
+            bag = nested.run_bag(value.root)
+            deferred_memo[id(value)] = bag
+            return bag
         if isinstance(value, DataBag):
             return self.parallelize_local(value.fetch())
         if isinstance(value, (list, tuple)):
@@ -216,6 +288,94 @@ class JobExecutor:
         self.engine.metrics.udf_invocations += source.count()
         # Filtering preserves the partitioning of its input.
         return PartitionedBag(out, source.partitioner)
+
+    # -- fused operator chains --------------------------------------------------
+
+    _STEP_KINDS: dict[type, str] = {
+        CMap: MAP,
+        CFlatMap: FLATMAP,
+        CFilter: FILTER,
+    }
+
+    def _chain_kernel(self, comb: CChain) -> ChainKernel:
+        """The compiled per-partition kernel for a chain (one per job)."""
+        kernel = self._kernel_memo.get(id(comb))
+        if kernel is None:
+            steps = []
+            for op in comb.ops:
+                udf = op.predicate if isinstance(op, CFilter) else op.fn
+                compiled = self._udf_compilation(udf)
+                steps.append(
+                    KernelStep(
+                        kind=self._STEP_KINDS[type(op)],
+                        closure=compiled.closure,
+                        extra=compiled.extra,
+                        params=compiled.fn.params,
+                        body=compiled.fn.body,
+                        bindings=compiled.bindings,
+                    )
+                )
+            kernel = build_chain_kernel(steps)
+            self._kernel_memo[id(comb)] = kernel
+        return kernel
+
+    def _run_chain(
+        self,
+        kernel: ChainKernel,
+        partition_index: int,
+        partition: list[Any],
+        emit: Callable[[Any], Any],
+    ) -> tuple[list[int], int]:
+        """Stream one partition through the kernel, charging exactly
+        what the unfused operators would — minus the per-operator
+        materialization: ``_record_ops`` is paid once per chain."""
+        counts = kernel.run(partition, emit)
+        entered, emitted = kernel.entered_counts(len(partition), counts)
+        ops = self._record_ops(partition)
+        ci = 0
+        for s, step in enumerate(kernel.steps):
+            ops += entered[s] * (1 + step.extra)
+            if step.kind == FLATMAP:
+                ops += counts[ci]
+            if step.counted:
+                ci += 1
+        self._charge_cpu(partition_index, ops)
+        return entered, emitted
+
+    def _charge_chain_overheads(self, kernel: ChainKernel) -> None:
+        """Task accounting for one executed chain.
+
+        A pipelining engine schedules the whole chain as one task wave
+        (the single ``task_overhead`` charge already paid by ``_exec``);
+        an engine without chaining still pays per operator.
+        """
+        n_ops = len(kernel.steps)
+        self.engine.metrics.chained_operators += n_ops
+        if self.engine.pipelined_chains:
+            self.engine.metrics.tasks_saved += n_ops - 1
+        else:
+            self.job.charge_driver(
+                self.engine.task_overhead
+                * self.parallelism
+                * (n_ops - 1)
+            )
+
+    def _exec_chain(self, comb: CChain) -> PartitionedBag:
+        source = self._exec(comb.input)
+        kernel = self._chain_kernel(comb)
+        self._charge_chain_overheads(kernel)
+        total_invocations = 0
+        out: list[list[Any]] = []
+        for i, p in enumerate(source.partitions):
+            rows: list[Any] = []
+            entered, _emitted = self._run_chain(kernel, i, p, rows.append)
+            out.append(rows)
+            total_invocations += sum(entered)
+        self.engine.metrics.udf_invocations += total_invocations
+        partitioner = (
+            source.partitioner if comb.preserves_partitioning() else None
+        )
+        return PartitionedBag(out, partitioner)
 
     # -- shuffles ---------------------------------------------------------------
 
@@ -310,14 +470,33 @@ class JobExecutor:
         nearest-centroid or blacklist-scan patterns) costs ``1 + |bag|``
         ops per invocation.
         """
-        fn, hoisted = self._hoist_closed_bags(fn)
+        compiled = self._udf_compilation(fn)
+        return compiled.closure, compiled.extra
+
+    def _udf_compilation(self, fn: ScalarFn) -> _CompiledUdf:
+        """Memoized (by UDF identity, per job) closure compilation.
+
+        The same ``ScalarFn`` object commonly appears in several
+        operators of one job (chained steps, a join key reused by a
+        partitioner probe); resolving its bindings and compiling it once
+        also means its broadcasts are counted once.
+        """
+        cached = self._udf_memo.get(id(fn))
+        if cached is not None and cached[0] is fn:
+            return cached[1]
+        hoisted_fn, hoisted = self._hoist_closed_bags(fn)
         bindings, extra = self._udf_bindings(
-            fn.free_names() - frozenset(hoisted)
+            hoisted_fn.free_names() - frozenset(hoisted)
         )
         for name, local in hoisted.items():
             bindings[name] = local
             extra += len(local)
-        return fn.compile(bindings), extra
+        closure, native = hoisted_fn.compile_native(bindings)
+        if native:
+            self.engine.metrics.udfs_compiled += 1
+        compiled = _CompiledUdf(hoisted_fn, bindings, closure, extra, native)
+        self._udf_memo[id(fn)] = (fn, compiled)
+        return compiled
 
     def _hoist_closed_bags(
         self, fn: ScalarFn
@@ -372,9 +551,13 @@ class JobExecutor:
         values: dict[str, DataBag] = {}
         for name, node in hoisted_nodes.items():
             plan = lower(normalize(resugar(node)))
-            bag = JobExecutor(self.engine, self.env, self.job).run_bag(
-                plan
+            nested = JobExecutor(
+                self.engine,
+                self.env,
+                self.job,
+                shared_state=self._shared_state,
             )
+            bag = nested.run_bag(plan)
             values[name] = self.broadcast_value(bag.collect())
         return ScalarFn(fn.params, body), values
 
@@ -383,6 +566,10 @@ class JobExecutor:
     ) -> tuple[dict[str, Any], int]:
         from repro.engines.base import BagHandle, DeferredBag
 
+        cached = self._bindings_memo.get(names)
+        if cached is not None:
+            # Callers extend the dict with hoisted values; hand out a copy.
+            return dict(cached[0]), cached[1]
         bindings: dict[str, Any] = {}
         extra = 0
         for name in sorted(names):
@@ -399,6 +586,7 @@ class JobExecutor:
                 extra += len(local)
             else:
                 bindings[name] = value
+        self._bindings_memo[names] = (dict(bindings), extra)
         return bindings, extra
 
     def _record_ops(self, partition: list[Any]) -> float:
@@ -581,7 +769,23 @@ class JobExecutor:
             )
 
     def _exec_agg_by(self, comb: CAggBy) -> PartitionedBag:
-        source = self._exec(comb.input)
+        # Map-side chain fusion: a private (unshared, unannotated)
+        # chain feeding the aggregation streams straight into the
+        # partial-aggregation accumulators — the chain's intermediate
+        # result is never materialized at all.
+        chain: CChain | None = None
+        if (
+            isinstance(comb.input, CChain)
+            and not comb.input.shared
+            and not comb.input.cache
+            and comb.input.partition_hint is None
+        ):
+            chain = comb.input
+            source = self._exec(chain.input)
+            kernel = self._chain_kernel(chain)
+        else:
+            source = self._exec(comb.input)
+            kernel = None
         key_fn, key_extra = self._compile_udf(comb.key)
         spec_names: frozenset[str] = frozenset()
         for spec in comb.specs:
@@ -592,27 +796,54 @@ class JobExecutor:
         ]
         extra = key_extra + spec_extra
 
-        aligned = source.partitioner is not None and (
-            source.partitioner.matches(comb.key, source.num_partitions)
+        # The chain's output partitioning decides shuffle alignment.
+        effective_partitioner = source.partitioner
+        if chain is not None and not chain.preserves_partitioning():
+            effective_partitioner = None
+        aligned = effective_partitioner is not None and (
+            effective_partitioner.matches(comb.key, source.num_partitions)
         )
+        if kernel is not None:
+            self._charge_chain_overheads(kernel)
+            # The whole chain collapses into the aggregation's mapper
+            # phase, so even its own task charge is saved.
+            if self.engine.pipelined_chains:
+                self.engine.metrics.tasks_saved += 1
         # Phase 1: mapper-side partial aggregation.
+        chain_invocations = 0
         partials: list[list[tuple[Any, tuple]]] = []
         for i, p in enumerate(source.partitions):
             acc: dict[Any, list[Any]] = {}
-            for x in p:
+
+            def accumulate(x: Any) -> None:
                 k = key_fn(x)
                 entry = acc.get(k)
                 if entry is None:
-                    acc[k] = [a.union(a.zero(), a.singleton(x)) for a in algebras]
+                    acc[k] = [
+                        a.union(a.zero(), a.singleton(x))
+                        for a in algebras
+                    ]
                 else:
                     for j, a in enumerate(algebras):
                         entry[j] = a.union(entry[j], a.singleton(x))
+
+            if kernel is None:
+                for x in p:
+                    accumulate(x)
+                n_agg_inputs = len(p)
+            else:
+                entered, n_agg_inputs = self._run_chain(
+                    kernel, i, p, accumulate
+                )
+                chain_invocations += sum(entered)
             partials.append([(k, tuple(v)) for k, v in acc.items()])
             self._charge_cpu(
-                i, len(p) * (len(algebras) + extra) + len(acc)
+                i, n_agg_inputs * (len(algebras) + extra) + len(acc)
             )
+        if kernel is not None:
+            self.engine.metrics.udf_invocations += chain_invocations
         partial_bag = PartitionedBag(
-            partials, source.partitioner if aligned else None
+            partials, effective_partitioner if aligned else None
         )
         if not aligned:
             # Phase 2: only the partial aggregates are shuffled.
@@ -664,7 +895,20 @@ class JobExecutor:
             + (right.partitions[i] if i < right.num_partitions else [])
             for i in range(n)
         ]
-        return PartitionedBag(out)
+        # Partition-wise concatenation of two bags hash-partitioned the
+        # same way is still partitioned that way; keeping the
+        # partitioner spares downstream joins/groupings a re-shuffle.
+        partitioner = None
+        if (
+            left.partitioner is not None
+            and right.partitioner is not None
+            and left.num_partitions == right.num_partitions
+            and left.partitioner.matches(
+                right.partitioner.key, right.num_partitions
+            )
+        ):
+            partitioner = left.partitioner
+        return PartitionedBag(out, partitioner)
 
     def _exec_minus(self, comb: CMinus) -> PartitionedBag:
         left = self._exec(comb.left)
@@ -741,6 +985,7 @@ JobExecutor._HANDLERS = {
     CMap: JobExecutor._exec_map,
     CFlatMap: JobExecutor._exec_flat_map,
     CFilter: JobExecutor._exec_filter,
+    CChain: JobExecutor._exec_chain,
     CEqJoin: JobExecutor._exec_eq_join,
     CSemiJoin: JobExecutor._exec_semi_join,
     CCross: JobExecutor._exec_cross,

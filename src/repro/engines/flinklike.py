@@ -32,6 +32,9 @@ class FlinkLikeEngine(Engine):
     cache_storage = "dfs"
     shuffle_via_disk = False
     task_overhead = 0.00003
+    # The execution model the chaining layer is modelled after:
+    # record-wise operators stream through one pipelined task chain.
+    pipelined_chains = True
     group_materialize_factor = 4.0
     group_memory_bound = False
     group_spill_to_disk = True

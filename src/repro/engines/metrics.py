@@ -47,6 +47,16 @@ class Metrics:
     broadcast_joins: int = 0
     repartition_joins: int = 0
 
+    #: operators executed inside fused chains (physical pipelining)
+    chained_operators: int = 0
+    #: per-operator task-overhead charges eliminated by chaining
+    tasks_saved: int = 0
+    #: UDFs compiled to native Python closures (vs interpreter fallback)
+    udfs_compiled: int = 0
+    #: shared subplans reused from the per-job DAG memo instead of
+    #: re-executed (diamond plans, repeated lazy lineages)
+    dag_memo_hits: int = 0
+
     #: peak bytes materialized on any single worker (group building etc.)
     peak_worker_bytes: int = 0
 

@@ -35,6 +35,9 @@ class SparkLikeEngine(Engine):
     cache_storage = "memory"
     shuffle_via_disk = True
     task_overhead = 0.0005
+    # Narrow transformations fuse into one stage: a chained
+    # map/filter/flatMap run schedules as a single task wave.
+    pipelined_chains = True
     group_materialize_factor = 3.0
     group_memory_bound = True
     group_spill_to_disk = False

@@ -8,9 +8,11 @@ constructed dataflow allows.  The resulting combinator tree is the
 abstract version of the dataflow submitted to a parallel engine.
 """
 
+from repro.lowering.chaining import ChainStats, chain_operators
 from repro.lowering.combinators import (
     CAggBy,
     CBagRef,
+    CChain,
     CCross,
     CDistinct,
     CEqJoin,
@@ -34,6 +36,7 @@ from repro.lowering.rules import LoweringContext, lower, lower_source
 __all__ = [
     "CAggBy",
     "CBagRef",
+    "CChain",
     "CCross",
     "CDistinct",
     "CEqJoin",
@@ -51,6 +54,8 @@ __all__ = [
     "ScalarFn",
     "combinator_nodes",
     "explain",
+    "ChainStats",
+    "chain_operators",
     "LoweringContext",
     "lower",
     "lower_source",

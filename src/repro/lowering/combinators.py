@@ -28,6 +28,7 @@ from repro.comprehension.exprs import (
     Expr,
     Lambda,
     Ref,
+    compile_scalar,
 )
 from repro.comprehension.pretty import pretty
 
@@ -52,7 +53,25 @@ class ScalarFn:
 
     def compile(self, env: Env | Mapping[str, Any]) -> Callable:
         """Close the body over ``env``; returns a plain callable."""
-        return Lambda(self.params, self.body).evaluate(Env.of(env))
+        return self.compile_native(env)[0]
+
+    def compile_native(
+        self, env: Env | Mapping[str, Any]
+    ) -> tuple[Callable, bool]:
+        """Close over ``env``, preferring a natively compiled closure.
+
+        Returns ``(callable, native)``: ``native`` is True when the
+        body compiled to a plain Python function via ``compile()`` (the
+        hot path no longer walks the expression AST) and False when it
+        fell back to the tree-walking interpreter (exotic nodes, or a
+        free name only resolvable at call time).  Both forms have
+        identical semantics.
+        """
+        env = Env.of(env)
+        fn = compile_scalar(self.params, self.body, env)
+        if fn is not None:
+            return fn, True
+        return Lambda(self.params, self.body).evaluate(env), False
 
     @staticmethod
     def identity(var: str = "x") -> "ScalarFn":
@@ -218,6 +237,45 @@ class CFilter(Combinator):
 
     def describe(self) -> str:
         return f"Filter({self.predicate.describe()})"
+
+
+@dataclass(frozen=True)
+class CChain(Combinator):
+    """A fused run of record-wise operators (a physical operator chain).
+
+    ``ops`` holds the original narrow combinators (:class:`CMap`,
+    :class:`CFlatMap`, :class:`CFilter`) in dataflow order —
+    ``ops[0]`` consumes ``input``.  The executor streams each partition
+    through one compiled per-partition kernel, paying a single task-
+    overhead charge and a single materialization for the whole chain
+    (Flink's pipelined operator chains; Spark's fused narrow stages).
+
+    ``shared`` marks a chain whose *result* has several consumers: it
+    still fuses internally, but is never inlined into a downstream
+    aggregation, so per-job DAG memoization can reuse its one
+    materialized result.
+    """
+
+    ops: tuple[Combinator, ...] = ()
+    input: Combinator = None  # type: ignore[assignment]
+    shared: bool = field(default=False, compare=False)
+
+    def inputs(self) -> tuple[Combinator, ...]:
+        return (self.input,)
+
+    def udfs(self) -> tuple[ScalarFn, ...]:
+        out: list[ScalarFn] = []
+        for op in self.ops:
+            out.extend(op.udfs())
+        return tuple(out)
+
+    def preserves_partitioning(self) -> bool:
+        """Only an all-filter chain keeps its input's partitioning."""
+        return all(isinstance(op, CFilter) for op in self.ops)
+
+    def describe(self) -> str:
+        inner = " -> ".join(op.describe() for op in self.ops)
+        return f"Chain[{inner}]"
 
 
 # -- binary ---------------------------------------------------------------

@@ -54,6 +54,7 @@ from repro.frontend.driver_ir import (
     SWhile,
     Stmt,
 )
+from repro.lowering.chaining import ChainStats, chain_operators
 from repro.lowering.combinators import Combinator, ScalarFn, explain
 from repro.lowering.rules import LoweringContext, lower
 from repro.optimizer.caching import (
@@ -81,6 +82,11 @@ class EmmaConfig:
     partition_pulling: bool = True
     #: ablation knob: disable the Figure 3a filter-pushdown state
     filter_pushdown: bool = True
+    #: physical operator chaining: fuse maximal runs of record-wise
+    #: operators into one per-partition kernel (not a Table 1 row —
+    #: it is the physical layer the target engines apply below the
+    #: logical rewrites)
+    operator_chaining: bool = True
 
     @staticmethod
     def none() -> "EmmaConfig":
@@ -91,6 +97,7 @@ class EmmaConfig:
             fold_group_fusion=False,
             caching=False,
             partition_pulling=False,
+            operator_chaining=False,
         )
 
     @staticmethod
@@ -125,6 +132,8 @@ class OptimizationReport:
     cache_decisions: list[CacheDecision] = field(default_factory=list)
     partition_keys: dict[str, ScalarFn] = field(default_factory=dict)
     dataflow_sites: int = 0
+    operator_chains: int = 0
+    chained_operators: int = 0
 
     @property
     def unnesting_applied(self) -> bool:
@@ -141,6 +150,10 @@ class OptimizationReport:
     @property
     def partition_pulling_applied(self) -> bool:
         return bool(self.partition_keys)
+
+    @property
+    def operator_chaining_applied(self) -> bool:
+        return self.operator_chains > 0
 
     def table1_row(self) -> dict[str, bool]:
         """The applicability row: optimization name -> applied."""
@@ -280,6 +293,13 @@ class _SiteCompiler:
                 push_filters=self.config.filter_pushdown,
             ),
         )
+        if self.config.operator_chaining:
+            chain_stats = ChainStats()
+            plan = chain_operators(plan, chain_stats)
+            self.report.operator_chains += chain_stats.chains
+            self.report.chained_operators += (
+                chain_stats.chained_operators
+            )
         self.report.dataflow_sites += 1
         self.sites.append((rewritten, plan, self._in_loop))
         return plan

@@ -1,0 +1,173 @@
+"""Tests for the native scalar-expression compiler.
+
+``compile_scalar`` must agree with the tree-walking ``evaluate`` on the
+whole compilable subset, and must *refuse* (return ``None``) on anything
+outside it so callers keep the interpreting closure.
+"""
+
+import pytest
+
+from repro.comprehension.exprs import (
+    Attr,
+    BagLiteral,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Const,
+    Env,
+    IfElse,
+    Index,
+    Lambda,
+    ListExpr,
+    MapCall,
+    NativeCodegen,
+    NotCompilable,
+    Ref,
+    TupleExpr,
+    UnaryOp,
+    compile_scalar,
+    compile_scalar_source,
+)
+from repro.lowering.combinators import ScalarFn
+
+
+def both(params, body, env, *args):
+    """Run the native compile and the interpreter; assert agreement."""
+    native = compile_scalar(params, body, env)
+    assert native is not None, "expected the expression to compile"
+    interp = Lambda(params, body).evaluate(Env.of(env))
+    assert native(*args) == interp(*args)
+    return native(*args)
+
+
+class TestCompiledSemantics:
+    def test_arithmetic(self):
+        body = BinOp("*", BinOp("+", Ref("x"), Const(3)), Ref("x"))
+        assert both(("x",), body, {}, 4) == 28
+
+    def test_comparison_and_boolop(self):
+        body = BoolOp(
+            "and",
+            (
+                Compare(">", Ref("x"), Const(0)),
+                Compare("<", Ref("x"), Const(10)),
+            ),
+        )
+        assert both(("x",), body, {}, 5) is True
+        assert both(("x",), body, {}, 50) is False
+
+    def test_unary_ifelse(self):
+        body = IfElse(
+            then=UnaryOp("-", Ref("x")),
+            cond=Compare(">", Ref("x"), Const(0)),
+            orelse=Ref("x"),
+        )
+        assert both(("x",), body, {}, 7) == -7
+        assert both(("x",), body, {}, -7) == -7
+
+    def test_attr_index_tuple_list(self):
+        body = TupleExpr(
+            (
+                Attr(Ref("x"), "real"),
+                Index(ListExpr((Ref("x"), Const(9))), Const(1)),
+            )
+        )
+        assert both(("x",), body, {}, 3) == (3, 9)
+
+    def test_one_element_tuple(self):
+        assert both(("x",), TupleExpr((Ref("x"),)), {}, 1) == (1,)
+
+    def test_call_with_kwargs(self):
+        body = Call(
+            Ref("f"), (Ref("x"),), (("base", Const(2)),)
+        )
+        env = {"f": lambda v, base: v**base}
+        assert both(("x",), body, env, 5) == 25
+
+    def test_nested_lambda(self):
+        body = Call(Lambda(("y",), BinOp("+", Ref("x"), Ref("y"))), (Const(1),))
+        assert both(("x",), body, {}, 10) == 11
+
+    def test_free_name_closed_over_eagerly(self):
+        body = BinOp("+", Ref("x"), Ref("k"))
+        fn = compile_scalar(("x",), body, {"k": 100})
+        assert fn(1) == 101
+
+    def test_shadowed_param_beats_env(self):
+        body = Ref("x")
+        fn = compile_scalar(("x",), body, {"x": 999})
+        assert fn(5) == 5
+
+    def test_nonliteral_constant_interned(self):
+        marker = object()
+        fn = compile_scalar(("x",), Const(marker), {})
+        assert fn(0) is marker
+
+    def test_nonfinite_float_constant(self):
+        inf = float("inf")
+        fn = compile_scalar(("x",), Const(inf), {})
+        assert fn(0) == inf
+
+
+class TestRefusals:
+    def test_bag_expression_refused(self):
+        body = MapCall(BagLiteral(ListExpr((Const(1),))), Lambda(("y",), Ref("y")))
+        assert compile_scalar(("x",), body, {}) is None
+
+    def test_unbound_free_name_refused(self):
+        assert (
+            compile_scalar(("x",), BinOp("+", Ref("x"), Ref("k")), {})
+            is None
+        )
+
+    def test_keyword_param_refused(self):
+        assert compile_scalar(("class",), Ref("class"), {}) is None
+
+    def test_reserved_const_prefix_param_refused(self):
+        assert compile_scalar(("_cv0",), Ref("_cv0"), {}) is None
+
+
+class TestNativeCodegen:
+    def test_intern_const_is_stable_per_identity(self):
+        cg = NativeCodegen()
+        marker = object()
+        assert cg.intern_const(marker) == cg.intern_const(marker)
+        assert cg.intern_const(object()) != cg.intern_const(marker)
+
+    def test_bind_free_rejects_conflicting_values(self):
+        cg = NativeCodegen()
+        cg.bind_free("k", 1)
+        cg.bind_free("k", 1)  # same object: fine
+        with pytest.raises(NotCompilable):
+            cg.bind_free("k", 2.5)
+
+    def test_bind_free_rejects_reserved_prefix(self):
+        cg = NativeCodegen()
+        with pytest.raises(NotCompilable):
+            cg.bind_free("_cv1", 1)
+
+    def test_shared_namespace_across_expressions(self):
+        cg = NativeCodegen()
+        env = Env({"a": 5, "b": 7})
+        src1 = cg.emit(Ref("a"), {}, env.lookup)
+        src2 = cg.emit(BinOp("+", Ref("a"), Ref("b")), {}, env.lookup)
+        fn = compile_scalar_source(("x",), f"{src1} + {src2}", cg.globals_)
+        assert fn(0) == 17
+
+
+class TestScalarFnIntegration:
+    def test_compile_native_reports_nativeness(self):
+        fn = ScalarFn(("x",), BinOp("+", Ref("x"), Const(1)))
+        compiled, native = fn.compile_native({})
+        assert native
+        assert compiled(41) == 42
+
+    def test_compile_native_fallback(self):
+        body = MapCall(
+            BagLiteral(ListExpr((Const(1), Const(2)))), Lambda(("y",), Ref("y"))
+        )
+        fn = ScalarFn(("x",), body)
+        compiled, native = fn.compile_native({})
+        assert not native
+        assert list(compiled(0)) == [1, 2]

@@ -1,0 +1,221 @@
+"""Tests for the physical operator-chaining pass."""
+
+from repro.comprehension.exprs import Attr, BinOp, Compare, Const, Ref
+from repro.lowering.chaining import (
+    ChainStats,
+    chain_operators,
+    consumer_counts,
+)
+from repro.lowering.combinators import (
+    CBagRef,
+    CChain,
+    CFilter,
+    CFlatMap,
+    CFold,
+    CMap,
+    CUnion,
+    ScalarFn,
+    explain,
+)
+
+
+def inc() -> ScalarFn:
+    return ScalarFn(("x",), BinOp("+", Ref("x"), Const(1)))
+
+
+def positive() -> ScalarFn:
+    return ScalarFn(("x",), Compare(">", Ref("x"), Const(0)))
+
+
+def map_filter_map(source) -> CMap:
+    return CMap(
+        fn=inc(),
+        input=CFilter(predicate=positive(), input=CMap(fn=inc(), input=source)),
+    )
+
+
+class TestChainDiscovery:
+    def test_maximal_run_fuses_into_one_chain(self):
+        plan = map_filter_map(CBagRef(name="xs"))
+        stats = ChainStats()
+        chained = chain_operators(plan, stats)
+        assert isinstance(chained, CChain)
+        assert [type(op).__name__ for op in chained.ops] == [
+            "CMap",
+            "CFilter",
+            "CMap",
+        ]
+        assert isinstance(chained.input, CBagRef)
+        assert stats.chains == 1
+        assert stats.chained_operators == 3
+
+    def test_ops_are_in_dataflow_order(self):
+        inner = CMap(fn=inc(), input=CBagRef(name="xs"))
+        outer = CFilter(predicate=positive(), input=inner)
+        chained = chain_operators(outer)
+        assert chained.ops == (inner, outer)
+
+    def test_single_operator_is_not_chained(self):
+        plan = CMap(fn=inc(), input=CBagRef(name="xs"))
+        stats = ChainStats()
+        chained = chain_operators(plan, stats)
+        assert chained is plan
+        assert stats.chains == 0
+
+    def test_flatmap_participates(self):
+        plan = CFlatMap(
+            fn=inc(), input=CMap(fn=inc(), input=CBagRef(name="xs"))
+        )
+        chained = chain_operators(plan)
+        assert isinstance(chained, CChain)
+        assert len(chained.ops) == 2
+
+    def test_non_chainable_operator_breaks_the_run(self):
+        plan = CMap(
+            fn=inc(),
+            input=CUnion(
+                left=CMap(fn=inc(), input=CBagRef(name="xs")),
+                right=CBagRef(name="ys"),
+            ),
+        )
+        chained = chain_operators(plan)
+        # The union splits the two maps into separate (length-1,
+        # therefore unfused) runs.
+        assert isinstance(chained, CMap)
+        assert isinstance(chained.input, CUnion)
+
+    def test_chain_nested_under_other_operators(self):
+        from repro.comprehension.exprs import AlgebraSpec
+
+        plan = CFold(
+            spec=AlgebraSpec("count"),
+            input=map_filter_map(CBagRef(name="xs")),
+        )
+        chained = chain_operators(plan)
+        assert isinstance(chained, CFold)
+        assert isinstance(chained.input, CChain)
+
+
+class TestAnnotationsAndSharing:
+    def test_cached_interior_node_is_not_fused(self):
+        cached = CMap(fn=inc(), input=CBagRef(name="xs"), cache=True)
+        plan = CMap(fn=inc(), input=CFilter(predicate=positive(), input=cached))
+        chained = chain_operators(plan)
+        assert isinstance(chained, CChain)
+        assert len(chained.ops) == 2  # stops above the cached map
+        assert chained.input is cached
+
+    def test_partition_hint_interior_node_is_not_fused(self):
+        hinted = CMap(
+            fn=inc(), input=CBagRef(name="xs"), partition_hint=inc()
+        )
+        plan = CFilter(predicate=positive(), input=hinted)
+        chained = chain_operators(plan)
+        # A two-node run whose interior carries a hint stays unfused.
+        assert isinstance(chained, CFilter)
+        assert chained.input is hinted
+
+    def test_head_inherits_annotations(self):
+        plan = CMap(
+            fn=inc(),
+            input=CMap(fn=inc(), input=CBagRef(name="xs")),
+            cache=True,
+            partition_hint=inc(),
+        )
+        chained = chain_operators(plan)
+        assert isinstance(chained, CChain)
+        assert chained.cache
+        assert chained.partition_hint is not None
+
+    def test_shared_interior_node_is_not_fused(self):
+        shared = CMap(fn=inc(), input=CBagRef(name="xs"))
+        plan = CUnion(
+            left=CFilter(predicate=positive(), input=shared),
+            right=CMap(fn=inc(), input=shared),
+        )
+        chained = chain_operators(plan)
+        # Neither branch may absorb the shared map; both runs collapse
+        # to single operators, so nothing fuses.
+        assert isinstance(chained, CUnion)
+        assert isinstance(chained.left, CFilter)
+        assert isinstance(chained.right, CMap)
+
+    def test_shared_chain_head_is_flagged_shared(self):
+        head = CFilter(
+            predicate=positive(),
+            input=CMap(fn=inc(), input=CBagRef(name="xs")),
+        )
+        plan = CUnion(
+            left=CMap(fn=inc(), input=head),
+            right=CFlatMap(fn=inc(), input=head),
+        )
+        chained = chain_operators(plan)
+        # Each union branch chains with the shared two-op run below it?
+        # No: the shared head has two consumers, so each branch stays a
+        # lone operator and the head itself becomes one shared chain.
+        left, right = chained.left, chained.right
+        assert isinstance(left, CMap)
+        assert isinstance(right, CFlatMap)
+        assert isinstance(left.input, CChain)
+        assert left.input is right.input  # diamond preserved
+        assert left.input.shared
+
+    def test_diamond_is_rebuilt_once(self):
+        shared = CUnion(
+            left=CBagRef(name="xs"), right=CBagRef(name="ys")
+        )
+        plan = CUnion(
+            left=CMap(fn=inc(), input=shared),
+            right=CFilter(predicate=positive(), input=shared),
+        )
+        chained = chain_operators(plan)
+        assert chained.left.input is chained.right.input
+
+    def test_unchanged_subtree_preserved_by_identity(self):
+        leaf = CBagRef(name="xs")
+        plan = CUnion(left=leaf, right=CBagRef(name="ys"))
+        chained = chain_operators(plan)
+        assert chained is plan
+
+    def test_node_id_preserved_through_rebuild(self):
+        leaf = CBagRef(name="xs")
+        chain = map_filter_map(leaf)
+        plan = CUnion(left=chain, right=leaf)
+        chained = chain_operators(plan)
+        assert chained.node_id == plan.node_id
+
+
+class TestChainProperties:
+    def test_all_filter_chain_preserves_partitioning(self):
+        chain = CChain(
+            ops=(
+                CFilter(predicate=positive(), input=None),
+                CFilter(predicate=positive(), input=None),
+            ),
+            input=CBagRef(name="xs"),
+        )
+        assert chain.preserves_partitioning()
+
+    def test_chain_with_map_does_not_preserve_partitioning(self):
+        chained = chain_operators(map_filter_map(CBagRef(name="xs")))
+        assert not chained.preserves_partitioning()
+
+    def test_udfs_concatenated(self):
+        chained = chain_operators(map_filter_map(CBagRef(name="xs")))
+        assert len(chained.udfs()) == 3
+
+    def test_explain_renders_chain_as_one_stage(self):
+        chained = chain_operators(map_filter_map(CBagRef(name="xs")))
+        text = explain(chained)
+        # One bracketed stage on one line; the source below it.
+        first_line = text.splitlines()[0]
+        assert first_line.startswith("Chain[")
+        assert first_line.count("Map(") == 2
+        assert "Filter(" in first_line
+        assert "BagRef(xs)" in text
+
+    def test_consumer_counts_by_identity(self):
+        shared = CBagRef(name="xs")
+        plan = CUnion(left=shared, right=shared)
+        counts = consumer_counts(plan)
+        assert counts[id(shared)] == 2

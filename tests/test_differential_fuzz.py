@@ -5,9 +5,9 @@ maps, filters, distinct, union/minus, correlated ``exists`` filters,
 group-aggregations — and the resulting IR is executed:
 
 * directly, via the expression interpreter (the semantic oracle);
-* compiled (resugar -> normalize -> fold-group fusion -> lower) and run
-  on the Spark-like and Flink-like engines, with unnesting and fusion
-  independently toggled.
+* compiled (resugar -> normalize -> fold-group fusion -> lower ->
+  operator chaining) and run on the Spark-like and Flink-like engines,
+  with unnesting, fusion, and physical chaining independently toggled.
 
 Every combination must produce the same multiset.  This is the
 paper's central soundness claim — the rewrites and the parallel
@@ -42,6 +42,7 @@ from repro.core.databag import DataBag
 from repro.engines.cluster import ClusterConfig
 from repro.engines.flinklike import FlinkLikeEngine
 from repro.engines.sparklike import SparkLikeEngine
+from repro.lowering.chaining import chain_operators
 from repro.lowering.combinators import CFold
 from repro.lowering.rules import lower
 from repro.optimizer.fold_group_fusion import fold_group_fusion
@@ -178,11 +179,13 @@ def build_pipeline(descriptors):
     return expr
 
 
-def run_compiled(expr, env, engine, unnest, fuse):
+def run_compiled(expr, env, engine, unnest, fuse, chain=False):
     rewritten = normalize(resugar(expr), unnest_exists=unnest)
     if fuse:
         rewritten = fold_group_fusion(rewritten)
     plan = lower(rewritten)
+    if chain:
+        plan = chain_operators(plan)
     if isinstance(plan, CFold):
         return engine.run_scalar(plan, env)
     return DataBag(engine.collect(engine.defer(plan, env)))
@@ -220,3 +223,31 @@ def test_terminal_folds_match_the_oracle(descriptors, xs, ys):
     oracle = evaluate(expr, dict(env))
     engine = SparkLikeEngine(cluster=ClusterConfig(num_workers=4))
     assert run_compiled(expr, dict(env), engine, True, True) == oracle
+
+
+@settings(max_examples=40, deadline=None)
+@given(stage_descriptors, int_bags, int_bags)
+def test_operator_chaining_never_changes_results(descriptors, xs, ys):
+    """Physical chaining on vs off, on every engine, vs the oracle.
+
+    This is the soundness obligation of the fused per-partition
+    kernels: chain discovery, UDF inlining, and the map-side
+    aggregation fusion must be invisible in the results.
+    """
+    expr = build_pipeline(descriptors)
+    env = {"xs": DataBag(xs), "ys": DataBag(ys)}
+    oracle = evaluate(expr, dict(env))
+
+    for engine_cls in (SparkLikeEngine, FlinkLikeEngine):
+        results = {}
+        for chain in (False, True):
+            engine = engine_cls(cluster=ClusterConfig(num_workers=3))
+            results[chain] = run_compiled(
+                expr, dict(env), engine, True, True, chain=chain
+            )
+        assert results[True] == results[False], (
+            f"{engine_cls.__name__}: chaining changed the result"
+        )
+        assert results[True] == oracle, (
+            f"{engine_cls.__name__}: chained run diverged from oracle"
+        )
