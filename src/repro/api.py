@@ -31,9 +31,12 @@ from repro.core.stateful import StatefulBag
 from repro.engines import (
     ClusterConfig,
     CostModel,
+    FaultEvent,
+    FaultPlan,
     FlinkLikeEngine,
     LocalEngine,
     Metrics,
+    RetryPolicy,
     SimulatedDFS,
     SparkLikeEngine,
 )
@@ -41,6 +44,7 @@ from repro.errors import (
     EmmaError,
     SimulatedMemoryError,
     SimulatedTimeout,
+    TaskFailedError,
 )
 from repro.frontend.parallelize import Algorithm, parallelize
 from repro.optimizer.pipeline import EmmaConfig, OptimizationReport
@@ -84,17 +88,21 @@ __all__ = [
     "DataBag",
     "EmmaConfig",
     "EmmaError",
+    "FaultEvent",
+    "FaultPlan",
     "FlinkLikeEngine",
     "Grp",
     "JsonLinesFormat",
     "LocalEngine",
     "Metrics",
     "OptimizationReport",
+    "RetryPolicy",
     "SimulatedDFS",
     "SimulatedMemoryError",
     "SimulatedTimeout",
     "SparkLikeEngine",
     "StatefulBag",
+    "TaskFailedError",
     "parallelize",
     "read",
     "stateful",

@@ -26,6 +26,12 @@ from repro.engines.base import BagHandle, DeferredBag, Engine
 from repro.engines.cluster import ClusterConfig, PartitionedBag, Partitioner
 from repro.engines.costmodel import CostModel
 from repro.engines.dfs import SimulatedDFS
+from repro.engines.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+)
 from repro.engines.flinklike import FlinkLikeEngine
 from repro.engines.local import LocalEngine
 from repro.engines.metrics import Metrics
@@ -40,6 +46,10 @@ __all__ = [
     "Partitioner",
     "CostModel",
     "SimulatedDFS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
     "FlinkLikeEngine",
     "LocalEngine",
     "Metrics",

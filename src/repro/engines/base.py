@@ -25,16 +25,22 @@ to the :class:`~repro.engines.costmodel.CostModel`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Mapping
+import weakref
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.core.databag import DataBag
 from repro.engines.cluster import ClusterConfig, PartitionedBag
 from repro.engines.costmodel import CostModel
 from repro.engines.dfs import SimulatedDFS
+from repro.engines.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.engines.metrics import JobRun, Metrics
 from repro.errors import EngineError, SimulatedTimeout
 from repro.lowering.combinators import Combinator, ScalarFn
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.optimizer.pipeline import EmmaConfig
 
 
 class DeferredBag:
@@ -65,18 +71,60 @@ class DeferredBag:
         return f"DeferredBag({self.root.describe()}, {state})"
 
 
-@dataclass
+@dataclass(eq=False)
 class BagHandle:
-    """A cached, materialized distributed bag."""
+    """A cached, materialized distributed bag.
+
+    For recovery, a memory-cached handle records how to rebuild lost
+    partitions: either its **lineage** (the combinator subtree plus the
+    environment snapshot it was materialized from — a worker loss
+    re-executes that subtree, stopping at upstream cached/DFS-backed
+    bags, the recovery barriers) or a **driver replica** of the
+    partition lists (for driver-originated data such as parallelized
+    collections and stateful-update deltas, whose "lineage" is the
+    driver itself).  DFS-backed handles need neither: the simulated
+    DFS survives worker loss by construction.
+    """
 
     engine: "Engine"
     bag: PartitionedBag
     storage: str  # "memory" | "dfs"
     dfs_path: str | None = None
+    #: lineage for recomputation (combinator root + env snapshot)
+    lineage_root: Combinator | None = None
+    lineage_env: dict[str, Any] | None = None
+    #: the partitioning enforced when the bag was cached (re-enforced
+    #: on recomputation so recovered partitions line up exactly)
+    partition_key: ScalarFn | None = None
+    #: driver-side replica of the partition lists (recovery barrier
+    #: for driver-originated data with no dataflow lineage)
+    recovery_partitions: list[list[Any]] | None = None
+    #: partition indexes currently lost to a worker failure
+    lost_partitions: set[int] = field(default_factory=set)
 
     def count(self) -> int:
         """Number of records in the cached bag."""
         return self.bag.count()
+
+    def mark_lost(self, worker: int, num_workers: int) -> list[int]:
+        """Tombstone this handle's partitions resident on a dead worker.
+
+        The stale lists are left in place so jobs that already hold the
+        bag keep a consistent snapshot (a running task's input blocks
+        are already fetched); the next cache *read* rebuilds every
+        tombstoned partition and overwrites it — so an incorrect
+        recomputation surfaces in downstream results rather than being
+        masked by the stale copy.
+        """
+        if self.storage != "memory":
+            return []  # DFS-backed caches survive worker loss.
+        lost = [
+            i
+            for i in range(self.bag.num_partitions)
+            if i % num_workers == worker and i not in self.lost_partitions
+        ]
+        self.lost_partitions.update(lost)
+        return lost
 
     def __repr__(self) -> str:
         return f"BagHandle({self.bag!r}, storage={self.storage})"
@@ -124,6 +172,9 @@ class Engine:
         cost: CostModel | None = None,
         dfs: SimulatedDFS | None = None,
         time_budget: float | None = None,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        checkpoint_interval: int = 0,
     ) -> None:
         self.cluster = cluster or ClusterConfig()
         self.cost = cost or CostModel()
@@ -131,6 +182,124 @@ class Engine:
         self.time_budget = time_budget
         self.metrics = Metrics()
         self._cache_seq = 0
+        #: every N stateful-bag updates, checkpoint the state to the
+        #: DFS (0 = only the initial driver snapshot is kept)
+        self.checkpoint_interval = checkpoint_interval
+        self.faults: FaultInjector | None = None
+        self.retry_policy = retry_policy or RetryPolicy()
+        if fault_plan is not None:
+            self.configure_faults(fault_plan, retry_policy)
+        #: live cached bags / stateful bags, notified on worker loss
+        self._cached_handles: "weakref.WeakSet[BagHandle]" = (
+            weakref.WeakSet()
+        )
+        self._stateful_bags: "weakref.WeakSet[Any]" = weakref.WeakSet()
+
+    # -- fault configuration ----------------------------------------------
+
+    def configure_faults(
+        self,
+        plan: FaultPlan | None,
+        policy: RetryPolicy | None = None,
+    ) -> None:
+        """Install (or clear, with ``plan=None``) a fault schedule."""
+        if policy is not None:
+            self.retry_policy = policy
+        if plan is None:
+            self.faults = None
+            return
+        self.faults = FaultInjector(
+            plan, self.retry_policy, self.cluster.num_workers
+        )
+
+    def apply_runtime_config(self, config: "EmmaConfig") -> None:
+        """Adopt the runtime knobs of an :class:`EmmaConfig`.
+
+        Called by :meth:`Algorithm.run <repro.frontend.parallelize.
+        Algorithm.run>` so fault plans and checkpoint intervals can be
+        configured per run alongside the compiler switches.
+        """
+        if config.fault_plan is not None or config.retry_policy is not None:
+            self.configure_faults(config.fault_plan, config.retry_policy)
+        if config.checkpoint_interval:
+            self.checkpoint_interval = config.checkpoint_interval
+
+    # -- worker loss and recovery -----------------------------------------
+
+    def on_worker_lost(self, worker: int, job: JobRun) -> None:
+        """Process a worker death: cached memory partitions on the dead
+        node are tombstoned (rebuilt lazily from lineage on the next
+        cache read), and stateful bags restore their lost partitions
+        from the last checkpoint plus the update log immediately."""
+        num_workers = self.cluster.num_workers
+        for handle in list(self._cached_handles):
+            handle.mark_lost(worker, num_workers)
+        for bag in list(self._stateful_bags):
+            bag.on_worker_lost(worker, job)
+
+    def _recover_handle(self, handle: BagHandle, job: JobRun) -> None:
+        """Rebuild a handle's tombstoned partitions.
+
+        Lineage-backed handles re-execute their combinator subtree —
+        upstream cached bags and DFS sources act as recovery barriers,
+        so the recomputation is as narrow as the surviving ancestry
+        allows — and re-enforce the cached partitioning, which makes
+        the rebuilt layout identical to the lost one.  Driver-backed
+        handles re-ship the replica.  Recovery work is charged into
+        the consuming job and never triggers further fault injection.
+        """
+        from repro.engines.executor import JobExecutor
+
+        lost = sorted(handle.lost_partitions)
+        if not lost:
+            return
+        before = job.total_seconds()
+        guard = self.faults.suspend() if self.faults else nullcontext()
+        with guard:
+            if handle.lineage_root is not None:
+                executor = JobExecutor(
+                    self, dict(handle.lineage_env or {}), job
+                )
+                bag = executor.run_bag(handle.lineage_root)
+                if handle.partition_key is not None and not (
+                    bag.partitioner is not None
+                    and bag.partitioner.matches(
+                        handle.partition_key, bag.num_partitions
+                    )
+                ):
+                    bag = executor.shuffle_by_key(
+                        bag, handle.partition_key
+                    )
+                if bag.num_partitions != handle.bag.num_partitions:
+                    raise EngineError(
+                        "lineage recomputation produced "
+                        f"{bag.num_partitions} partitions where the "
+                        f"cached bag had {handle.bag.num_partitions}",
+                        partition=lost[0],
+                        metrics=self.metrics.snapshot(),
+                    )
+                rebuilt = bag.partitions
+            elif handle.recovery_partitions is not None:
+                from repro.engines.sizes import estimate_bag_bytes
+
+                rebuilt = handle.recovery_partitions
+                nbytes = sum(
+                    estimate_bag_bytes(rebuilt[i]) for i in lost
+                )
+                job.charge_driver(self.cost.driver_seconds(nbytes))
+                self.metrics.driver_ship_bytes += nbytes
+            else:
+                raise EngineError(
+                    f"cached partitions {lost} were lost with neither "
+                    "lineage nor a driver replica to rebuild them from",
+                    partition=lost[0],
+                    metrics=self.metrics.snapshot(),
+                )
+            for i in lost:
+                handle.bag.partitions[i] = list(rebuilt[i])
+        handle.lost_partitions.clear()
+        self.metrics.partitions_recomputed += len(lost)
+        self.metrics.recovery_seconds += job.total_seconds() - before
 
     # -- driver-facing API -------------------------------------------------
 
@@ -192,11 +361,17 @@ class Engine:
 
         job = self._new_job()
         executor = JobExecutor(self, {}, job)
+        lineage_root: Combinator | None = None
+        lineage_env: dict[str, Any] | None = None
         if isinstance(value, DeferredBag):
             executor.env = value.env
             bag = executor.run_bag(value.root)
+            lineage_root, lineage_env = value.root, dict(value.env)
         elif isinstance(value, BagHandle):
             bag = self._read_cached(value, job)
+            lineage_root = value.lineage_root
+            if value.lineage_env is not None:
+                lineage_env = dict(value.lineage_env)
         elif isinstance(value, DataBag):
             bag = executor.parallelize_local(value.fetch())
         elif isinstance(value, list):
@@ -210,19 +385,47 @@ class Engine:
             and bag.partitioner.matches(partition_key, bag.num_partitions)
         ):
             bag = executor.shuffle_by_key(bag, partition_key)
-        handle = self._store_cached(bag, job)
+        handle = self._store_cached(
+            bag,
+            job,
+            lineage_root=lineage_root,
+            lineage_env=lineage_env,
+            partition_key=partition_key,
+        )
         self._finish_job(job)
         return handle
 
     # -- cache policy ------------------------------------------------------
 
-    def _store_cached(self, bag: PartitionedBag, job: JobRun) -> BagHandle:
+    def _store_cached(
+        self,
+        bag: PartitionedBag,
+        job: JobRun,
+        lineage_root: Combinator | None = None,
+        lineage_env: dict[str, Any] | None = None,
+        partition_key: ScalarFn | None = None,
+    ) -> BagHandle:
         nbytes = bag.nbytes()
         if self.cache_storage == "memory":
             # Writing to the in-memory store costs one local pass.
             job.charge_spread(self.cost.cpu_seconds(bag.count()))
             self.metrics.cache_write_bytes += nbytes
-            return BagHandle(self, bag, "memory")
+            recovery = None
+            if lineage_root is None:
+                # Driver-originated data has no dataflow lineage; keep a
+                # driver replica so worker loss remains recoverable.
+                recovery = [list(p) for p in bag.partitions]
+            handle = BagHandle(
+                self,
+                bag,
+                "memory",
+                lineage_root=lineage_root,
+                lineage_env=lineage_env,
+                partition_key=partition_key,
+                recovery_partitions=recovery,
+            )
+            self._cached_handles.add(handle)
+            return handle
         # DFS-backed cache: pay a distributed write now ...
         self._cache_seq += 1
         path = f"__cache__/{self.name}/{self._cache_seq}"
@@ -230,10 +433,14 @@ class Engine:
         job.charge_spread(self.cost.dfs_write_seconds(nbytes))
         self.metrics.dfs_write_bytes += nbytes
         self.metrics.cache_write_bytes += nbytes
-        return BagHandle(self, bag, "dfs", dfs_path=path)
+        handle = BagHandle(self, bag, "dfs", dfs_path=path)
+        self._cached_handles.add(handle)
+        return handle
 
     def _read_cached(self, handle: BagHandle, job: JobRun) -> PartitionedBag:
         """Access a cached bag, charging per the storage medium."""
+        if handle.lost_partitions:
+            self._recover_handle(handle, job)
         nbytes = handle.bag.nbytes()
         if handle.storage == "memory":
             self.metrics.cache_read_bytes += nbytes
@@ -262,7 +469,9 @@ class Engine:
             and self.metrics.simulated_seconds > self.time_budget
         ):
             raise SimulatedTimeout(
-                self.metrics.simulated_seconds, self.time_budget
+                self.metrics.simulated_seconds,
+                self.time_budget,
+                metrics=self.metrics.snapshot(),
             )
         return job_time
 

@@ -13,7 +13,7 @@ shuffles.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, is_dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.engines.sizes import estimate_bag_bytes
@@ -50,6 +50,14 @@ class Partitioner:
         return self.key.canonical() == key.canonical()
 
 
+def _combine(tag: int, items: Any) -> int:
+    acc = tag
+    for item in items:
+        acc = (acc * 1000003) ^ stable_hash(item)
+        acc &= 0xFFFFFFFF
+    return acc
+
+
 def stable_hash(value: Any) -> int:
     """A process-independent hash for partitioning.
 
@@ -57,7 +65,15 @@ def stable_hash(value: Any) -> int:
     456), which would make partition layouts — and therefore skew-
     sensitive experiment outcomes — vary between runs.  This hash is
     deterministic: integers map to themselves, strings/bytes through
-    CRC32, and tuples combine recursively.
+    CRC32, sequences combine positionally, sets order-independently,
+    and dataclass records field-wise (tagged with the class name, so
+    two record types with equal field values partition differently).
+
+    Values outside this closed set raise :class:`EngineError` rather
+    than falling back to ``repr``: object reprs that embed ``id()``
+    addresses would silently produce partition layouts that differ
+    between runs — exactly the nondeterminism this hash exists to
+    prevent.
     """
     if isinstance(value, bool):
         return int(value)
@@ -70,15 +86,30 @@ def stable_hash(value: Any) -> int:
     if isinstance(value, float):
         return zlib.crc32(repr(value).encode("utf-8"))
     if isinstance(value, tuple):
-        acc = 0x345678
-        for item in value:
-            acc = (acc * 1000003) ^ stable_hash(item)
-            acc &= 0xFFFFFFFF
-        return acc
+        return _combine(0x345678, value)
+    if isinstance(value, list):
+        return _combine(0x2D5F1B, value)
+    if isinstance(value, (set, frozenset)):
+        acc = 0x1E7A93
+        for item in value:  # xor: order-independent
+            acc ^= stable_hash(item)
+        return acc & 0xFFFFFFFF
     if value is None:
         return 0
-    # Fall back to repr for other hashable records (dataclasses).
-    return zlib.crc32(repr(value).encode("utf-8"))
+    if is_dataclass(value) and not isinstance(value, type):
+        tag = zlib.crc32(type(value).__qualname__.encode("utf-8"))
+        return _combine(
+            tag, (getattr(value, f.name) for f in fields(value))
+        )
+    from repro.errors import EngineError
+
+    raise EngineError(
+        f"cannot compute a stable partition hash for a "
+        f"{type(value).__name__}: partition keys must be "
+        f"ints/floats/strings/bytes/tuples/lists/sets or dataclass "
+        f"records composed of those (repr-based hashing of arbitrary "
+        f"objects is not deterministic across runs)"
+    )
 
 
 def hash_partition_index(key_value: Any, num_partitions: int) -> int:

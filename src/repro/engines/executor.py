@@ -167,7 +167,13 @@ class JobExecutor:
         return bag
 
     def _worker_of(self, partition_index: int) -> int:
-        return partition_index % self.num_workers
+        worker = partition_index % self.num_workers
+        faults = self.engine.faults
+        if faults is not None and faults.blacklisted:
+            # Blacklisted workers take no new tasks; their partitions'
+            # work lands on the next healthy node.
+            worker = faults.effective_worker(worker)
+        return worker
 
     # -- leaves ---------------------------------------------------------------
 
@@ -596,11 +602,18 @@ class JobExecutor:
         return estimate_bag_bytes(partition) / self.engine.cost.cpu_bytes_per_op
 
     def _charge_cpu(self, partition_index: int, ops: float) -> None:
-        self.job.charge_worker(
-            self._worker_of(partition_index),
-            self.engine.cost.cpu_seconds(ops),
-        )
+        worker = self._worker_of(partition_index)
+        seconds = self.engine.cost.cpu_seconds(ops)
+        self.job.charge_worker(worker, seconds)
         self.engine.metrics.element_ops += int(ops)
+        # Every per-partition charge is one task attempt completing —
+        # the natural boundary at which the simulated scheduler would
+        # observe a crash, a lost heartbeat, or a straggler.
+        faults = self.engine.faults
+        if faults is not None and faults.active:
+            faults.on_task(
+                self.engine, self.job, partition_index, worker, seconds
+            )
 
     # -- joins -------------------------------------------------------------------------
 
@@ -765,7 +778,11 @@ class JobExecutor:
             and used > self.engine.cost.memory_per_worker
         ):
             raise SimulatedMemoryError(
-                worker, used, self.engine.cost.memory_per_worker
+                worker,
+                used,
+                self.engine.cost.memory_per_worker,
+                partition=partition_index,
+                metrics=self.engine.metrics.snapshot(),
             )
 
     def _exec_agg_by(self, comb: CAggBy) -> PartitionedBag:

@@ -60,6 +60,26 @@ class Metrics:
     #: peak bytes materialized on any single worker (group building etc.)
     peak_worker_bytes: int = 0
 
+    # -- fault injection and recovery accounting --------------------------
+    #: task attempts re-run after an injected crash or worker loss
+    tasks_retried: int = 0
+    #: cached in-memory partitions rebuilt from lineage after worker loss
+    partitions_recomputed: int = 0
+    #: workers lost (and replaced by fresh nodes) during the run
+    workers_lost: int = 0
+    #: workers blacklisted after repeated task failures
+    workers_blacklisted: int = 0
+    #: straggler delays injected into task attempts
+    stragglers_injected: int = 0
+    #: periodic stateful-bag checkpoints written to the DFS
+    checkpoints_written: int = 0
+    #: stateful-bag restores performed after a worker loss
+    checkpoint_restores: int = 0
+    #: logged state updates replayed on top of restored checkpoints
+    state_updates_replayed: int = 0
+    #: simulated seconds spent on retries, recomputation, and restores
+    recovery_seconds: float = 0.0
+
     def snapshot(self) -> "Metrics":
         """A copy of the current counters (for before/after deltas)."""
         return Metrics(**vars(self))
@@ -75,13 +95,43 @@ class Metrics:
 
     def summary(self) -> str:
         """A compact human-readable summary line."""
-        return (
+        base = (
             f"t={self.simulated_seconds:.3f}s jobs={self.jobs_submitted} "
             f"shuffle={_fmt_bytes(self.shuffle_bytes)} "
             f"bcast={_fmt_bytes(self.broadcast_bytes)} "
             f"dfs_r={_fmt_bytes(self.dfs_read_bytes)} "
             f"dfs_w={_fmt_bytes(self.dfs_write_bytes)} "
             f"ops={self.element_ops}"
+        )
+        if self.recovery_happened:
+            base += " | " + self.recovery_summary()
+        return base
+
+    @property
+    def recovery_happened(self) -> bool:
+        """Whether any fault was injected or any recovery performed."""
+        return bool(
+            self.tasks_retried
+            or self.partitions_recomputed
+            or self.workers_lost
+            or self.workers_blacklisted
+            or self.stragglers_injected
+            or self.checkpoints_written
+            or self.checkpoint_restores
+        )
+
+    def recovery_summary(self) -> str:
+        """The fault/recovery accounting as one human-readable line."""
+        return (
+            f"retried={self.tasks_retried} "
+            f"recomputed={self.partitions_recomputed} "
+            f"lost={self.workers_lost} "
+            f"blacklisted={self.workers_blacklisted} "
+            f"stragglers={self.stragglers_injected} "
+            f"ckpt_w={self.checkpoints_written} "
+            f"ckpt_r={self.checkpoint_restores} "
+            f"replayed={self.state_updates_replayed} "
+            f"recovery_t={self.recovery_seconds:.3f}s"
         )
 
 
@@ -123,6 +173,10 @@ class JobRun:
     def add_stage(self) -> None:
         """Record a stage boundary (shuffle/broadcast) for overheads."""
         self.stages += 1
+
+    def total_seconds(self) -> float:
+        """Sum of all busy time charged so far (recovery deltas)."""
+        return sum(self.worker_seconds) + self.driver_seconds
 
     def finish(self, fixed_overhead: float, stage_overhead: float) -> float:
         """Fold this job into the metrics; return the job's time."""

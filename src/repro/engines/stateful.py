@@ -16,6 +16,16 @@ local and distributed implementations:
 * ``update(u)`` — per-partition point-wise update, returns the delta;
 * ``update_with_messages(messages, u)`` — messages are shuffled to the
   state partitions by key and applied; returns the delta.
+
+Fault tolerance (Flink-style iterative-state checkpointing): the bag
+always holds a *checkpoint* — initially the construction-time snapshot,
+which is free because the records came from the driver — plus a log of
+per-partition update deltas.  Updates are keyed value replacements
+(keys are never added or removed), so checkpoint + delta replay is an
+exact reconstruction.  With ``engine.checkpoint_interval = N`` the
+checkpoint rolls forward to the DFS every N updates and the log
+truncates, bounding replay work; a worker loss restores only the dead
+worker's partitions and replays only their logged deltas.
 """
 
 from __future__ import annotations
@@ -68,6 +78,16 @@ class DistributedStatefulBag:
                     f"duplicate key {k!r} while constructing stateful bag"
                 )
             self._partitions[idx][k] = record
+        # Checkpoint 0: the initial state (driver-resident, free).
+        self._checkpoint: list[dict[Any, Any]] = [
+            dict(p) for p in self._partitions
+        ]
+        #: (update_seq, partition_index, {key: new}) since last checkpoint
+        self._log: list[tuple[int, int, dict[Any, Any]]] = []
+        self._update_seq = 0
+        registry = getattr(engine, "_stateful_bags", None)
+        if registry is not None:
+            registry.add(self)
 
     # -- snapshot -----------------------------------------------------------
 
@@ -94,21 +114,29 @@ class DistributedStatefulBag:
     def update(self, u: Callable[[Any], Optional[Any]]) -> Any:
         """Point-wise update over all elements; returns the delta."""
         job = self.engine._new_job()
+        self._update_seq += 1
         delta_parts: list[list[Any]] = []
-        for i, partition in enumerate(self._partitions):
-            delta: list[Any] = []
+        for i in range(len(self._partitions)):
+            partition = self._partitions[i]
+            changed: dict[Any, Any] = {}
             for k, element in list(partition.items()):
                 new = u(element)
                 if new is None:
                     continue
                 self._require_same_key(k, new)
                 partition[k] = new
-                delta.append(new)
-            delta_parts.append(delta)
-            job.charge_worker(
-                i % self.engine.cluster.num_workers,
-                self.engine.cost.cpu_seconds(len(partition)),
-            )
+                changed[k] = new
+            delta_parts.append(list(changed.values()))
+            # Log *before* the task boundary: a worker loss observed at
+            # this boundary restores this partition from checkpoint +
+            # log, which must include the update it just absorbed.
+            if changed:
+                self._log.append((self._update_seq, i, changed))
+            seconds = self.engine.cost.cpu_seconds(len(partition))
+            worker = self._worker_of(i)
+            job.charge_worker(worker, seconds)
+            self._task_boundary(job, i, worker, seconds)
+        self._maybe_checkpoint(job)
         self.engine._finish_job(job)
         return self._delta_handle(delta_parts)
 
@@ -147,10 +175,10 @@ class DistributedStatefulBag:
             job.charge_spread(self.engine.cost.network_seconds(moved))
             self.engine.metrics.shuffle_bytes += moved
             job.add_stage()
+        self._update_seq += 1
         delta_parts: list[list[Any]] = []
-        for i, (partition, msgs) in enumerate(
-            zip(self._partitions, routed)
-        ):
+        for i in range(len(self._partitions)):
+            partition, msgs = self._partitions[i], routed[i]
             changed: dict[Any, Any] = {}
             for m in msgs:
                 k = mkey(m)
@@ -164,12 +192,88 @@ class DistributedStatefulBag:
                 partition[k] = new
                 changed[k] = new
             delta_parts.append(list(changed.values()))
-            job.charge_worker(
-                i % self.engine.cluster.num_workers,
-                self.engine.cost.cpu_seconds(len(msgs)),
-            )
+            if changed:
+                self._log.append((self._update_seq, i, changed))
+            seconds = self.engine.cost.cpu_seconds(len(msgs))
+            worker = self._worker_of(i)
+            job.charge_worker(worker, seconds)
+            self._task_boundary(job, i, worker, seconds)
+        self._maybe_checkpoint(job)
         self.engine._finish_job(job)
         return self._delta_handle(delta_parts)
+
+    # -- fault tolerance -------------------------------------------------------
+
+    def _worker_of(self, partition_index: int) -> int:
+        worker = partition_index % self.engine.cluster.num_workers
+        faults = self.engine.faults
+        if faults is not None and faults.blacklisted:
+            worker = faults.effective_worker(worker)
+        return worker
+
+    def _task_boundary(
+        self, job: Any, partition_index: int, worker: int, seconds: float
+    ) -> None:
+        """Each state-partition update is one task attempt."""
+        faults = self.engine.faults
+        if faults is not None and faults.active:
+            faults.on_task(
+                self.engine, job, partition_index, worker, seconds
+            )
+
+    def _maybe_checkpoint(self, job: Any) -> None:
+        """Roll the checkpoint forward and truncate the replay log."""
+        interval = getattr(self.engine, "checkpoint_interval", 0)
+        if not interval or self._update_seq % interval != 0:
+            return
+        from repro.engines.sizes import estimate_bag_bytes
+
+        self._checkpoint = [dict(p) for p in self._partitions]
+        self._log.clear()
+        nbytes = sum(
+            estimate_bag_bytes(list(p.values())) for p in self._checkpoint
+        )
+        job.charge_spread(self.engine.cost.dfs_write_seconds(nbytes))
+        self.engine.metrics.dfs_write_bytes += nbytes
+        self.engine.metrics.checkpoints_written += 1
+
+    def on_worker_lost(self, worker: int, job: Any) -> None:
+        """Restore the dead worker's state partitions.
+
+        Each lost partition is rebuilt from the checkpoint copy with its
+        logged deltas replayed in order — an exact reconstruction, since
+        updates only replace values under existing keys.  Called with
+        fault injection suspended, so restoration cannot cascade.
+        """
+        from repro.engines.sizes import estimate_bag_bytes
+
+        num_workers = self.engine.cluster.num_workers
+        lost = [
+            i
+            for i in range(len(self._partitions))
+            if i % num_workers == worker
+        ]
+        if not lost:
+            return
+        replayed = 0
+        restored_bytes = 0
+        for i in lost:
+            restored = dict(self._checkpoint[i])
+            for _seq, pi, delta in self._log:
+                if pi == i:
+                    restored.update(delta)
+                    replayed += 1
+            self._partitions[i] = restored
+            restored_bytes += estimate_bag_bytes(list(restored.values()))
+        seconds = self.engine.cost.dfs_read_seconds(
+            restored_bytes
+        ) + self.engine.cost.cpu_seconds(replayed)
+        job.charge_worker(worker, seconds)
+        metrics = self.engine.metrics
+        metrics.dfs_read_bytes += restored_bytes
+        metrics.checkpoint_restores += 1
+        metrics.state_updates_replayed += replayed
+        metrics.recovery_seconds += seconds
 
     # -- helpers ---------------------------------------------------------------
 
@@ -209,7 +313,18 @@ class DistributedStatefulBag:
             else None
         )
         bag = PartitionedBag(delta_parts, partitioner)
-        return BagHandle(self.engine, bag, "memory")
+        # Deltas are driver-originated (no dataflow lineage): keep a
+        # driver replica so a cached delta survives worker loss.
+        handle = BagHandle(
+            self.engine,
+            bag,
+            "memory",
+            recovery_partitions=[list(p) for p in delta_parts],
+        )
+        registry = getattr(self.engine, "_cached_handles", None)
+        if registry is not None:
+            registry.add(handle)
+        return handle
 
     def _require_same_key(self, old_key: Any, new_element: Any) -> None:
         if self._key(new_element) != old_key:

@@ -34,7 +34,49 @@ class PlanError(EmmaError):
 
 
 class EngineError(EmmaError):
-    """A backend engine failed while executing a dataflow."""
+    """A backend engine failed while executing a dataflow.
+
+    Engine failures carry their execution context so callers (the
+    experiment runner, reports) can show how far a failed run got:
+    ``metrics`` is a snapshot of the partial accounting at raise time,
+    and ``job``/``task``/``partition``/``worker`` locate the failing
+    unit of work when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        job: int | None = None,
+        task: int | None = None,
+        partition: int | None = None,
+        worker: int | None = None,
+        metrics: object | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.job = job
+        self.task = task
+        self.partition = partition
+        self.worker = worker
+        self.metrics = metrics
+
+    def failure_site(self) -> dict[str, int]:
+        """The known (job, task, partition, worker) coordinates."""
+        site = {
+            "job": self.job,
+            "task": self.task,
+            "partition": self.partition,
+            "worker": self.worker,
+        }
+        return {k: v for k, v in site.items() if v is not None}
+
+
+class TaskFailedError(EngineError):
+    """A task failed permanently after exhausting its retry budget.
+
+    Raised by the fault-injection scheduler when one task crashes more
+    than :attr:`~repro.engines.faults.RetryPolicy.max_attempts` times.
+    """
 
 
 class SimulatedTimeout(EngineError):
@@ -44,12 +86,19 @@ class SimulatedTimeout(EngineError):
     observations for the unoptimized iterative algorithms and TPC-H queries.
     """
 
-    def __init__(self, simulated_seconds: float, budget_seconds: float) -> None:
+    def __init__(
+        self,
+        simulated_seconds: float,
+        budget_seconds: float,
+        *,
+        metrics: object | None = None,
+    ) -> None:
         self.simulated_seconds = simulated_seconds
         self.budget_seconds = budget_seconds
         super().__init__(
             f"simulated execution time {simulated_seconds:.1f}s exceeded "
-            f"budget of {budget_seconds:.1f}s"
+            f"budget of {budget_seconds:.1f}s",
+            metrics=metrics,
         )
 
 
@@ -60,13 +109,23 @@ class SimulatedMemoryError(EngineError):
     fusion, group materialization can make an algorithm fail outright.
     """
 
-    def __init__(self, worker: int, used_bytes: int, limit_bytes: int) -> None:
-        self.worker = worker
+    def __init__(
+        self,
+        worker: int,
+        used_bytes: int,
+        limit_bytes: int,
+        *,
+        partition: int | None = None,
+        metrics: object | None = None,
+    ) -> None:
         self.used_bytes = used_bytes
         self.limit_bytes = limit_bytes
         super().__init__(
             f"worker {worker} exceeded memory limit: used {used_bytes} "
-            f"of {limit_bytes} bytes"
+            f"of {limit_bytes} bytes",
+            worker=worker,
+            partition=partition,
+            metrics=metrics,
         )
 
 

@@ -21,9 +21,14 @@ from typing import Any
 from repro.engines.cluster import ClusterConfig
 from repro.engines.costmodel import CostModel
 from repro.engines.dfs import SimulatedDFS
+from repro.engines.faults import FaultPlan, RetryPolicy
 from repro.engines.flinklike import FlinkLikeEngine
 from repro.engines.sparklike import SparkLikeEngine
-from repro.errors import SimulatedMemoryError, SimulatedTimeout
+from repro.errors import (
+    SimulatedMemoryError,
+    SimulatedTimeout,
+    TaskFailedError,
+)
 
 
 class _DNF:
@@ -64,13 +69,22 @@ def make_engine(
     time_budget: float | None = None,
     broadcast_join_threshold: int | None = None,
     task_overhead: float | None = None,
+    fault_plan: FaultPlan | None = None,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint_interval: int = 0,
 ):
     """A fresh engine of the given kind, wired to the shared DFS."""
     cluster = ClusterConfig(num_workers=num_workers)
     cost = cost or bench_cost_model()
     cls = {"spark": SparkLikeEngine, "flink": FlinkLikeEngine}[kind]
     engine = cls(
-        cluster=cluster, cost=cost, dfs=dfs, time_budget=time_budget
+        cluster=cluster,
+        cost=cost,
+        dfs=dfs,
+        time_budget=time_budget,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
+        checkpoint_interval=checkpoint_interval,
     )
     if broadcast_join_threshold is not None:
         engine.broadcast_join_threshold = broadcast_join_threshold
@@ -108,15 +122,23 @@ def run_with_budget(engine, algorithm, config, **params) -> ExperimentResult:
     try:
         algorithm.run(engine, config=config, **params)
         seconds: float | _DNF = engine.metrics.simulated_seconds
-    except (SimulatedTimeout, SimulatedMemoryError) as failure:
-        seconds = DNF
-        label = f"{label}"
+    except (
+        SimulatedTimeout,
+        SimulatedMemoryError,
+        TaskFailedError,
+    ) as failure:
+        extra: dict[str, Any] = {"failure": type(failure).__name__}
+        site = failure.failure_site()
+        if site:
+            extra["failure_site"] = site
+        if failure.metrics is not None:
+            extra["failure_metrics"] = failure.metrics
         return ExperimentResult(
             engine=engine.name,
             label=label,
-            seconds=seconds,
+            seconds=DNF,
             metrics_summary=engine.metrics.summary(),
-            extra={"failure": type(failure).__name__},
+            extra=extra,
         )
     return ExperimentResult(
         engine=engine.name,

@@ -115,6 +115,8 @@ class Algorithm:
             return run_direct(
                 self.lifted.program, engine, self.lifted.captured, params
             )
+        if config is not None and hasattr(engine, "apply_runtime_config"):
+            engine.apply_runtime_config(config)
         compiled = self.compiled(config)
         return run_compiled(
             compiled, engine, self.lifted.captured, params

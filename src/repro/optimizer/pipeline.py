@@ -41,6 +41,7 @@ from repro.comprehension.exprs import (
 from repro.comprehension.ir import BAG, Comprehension
 from repro.comprehension.normalize import NormalizeStats, normalize
 from repro.comprehension.resugar import resugar
+from repro.engines.faults import FaultPlan, RetryPolicy
 from repro.engines.sizes import estimate_bag_bytes
 from repro.errors import EmmaError
 from repro.frontend.driver_ir import (
@@ -87,6 +88,16 @@ class EmmaConfig:
     #: it is the physical layer the target engines apply below the
     #: logical rewrites)
     operator_chaining: bool = True
+
+    # Runtime (not compile-time) knobs, applied to the engine by
+    # ``Algorithm.run``: they do not change the compiled plans, only
+    # how the simulated cluster executes them.
+    #: deterministic fault schedule for the simulated cluster
+    fault_plan: FaultPlan | None = None
+    #: scheduler reaction to injected task failures
+    retry_policy: RetryPolicy | None = None
+    #: stateful-bag checkpoint cadence (0 = initial snapshot only)
+    checkpoint_interval: int = 0
 
     @staticmethod
     def none() -> "EmmaConfig":

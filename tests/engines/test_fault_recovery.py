@@ -1,0 +1,357 @@
+"""Unit tests for deterministic fault injection and recovery.
+
+Covers the :mod:`repro.engines.faults` scheduler (determinism, retry
+charging, blacklisting, permanent failure), lineage-based recomputation
+of lost cached partitions, driver-replica recovery, and stateful-bag
+checkpoint/replay restore.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.comprehension.exprs import (
+    BinOp,
+    Compare,
+    Const,
+    FilterCall,
+    Lambda,
+    MapCall,
+    Ref,
+)
+from repro.comprehension.normalize import normalize
+from repro.comprehension.resugar import resugar
+from repro.core.databag import DataBag
+from repro.engines.cluster import ClusterConfig
+from repro.engines.faults import (
+    CRASH,
+    STRAGGLER,
+    WORKER_LOSS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+)
+from repro.engines.flinklike import FlinkLikeEngine
+from repro.engines.sparklike import SparkLikeEngine
+from repro.engines.stateful import DistributedStatefulBag
+from repro.errors import EngineError, TaskFailedError
+from repro.lowering.rules import lower
+
+
+def _plan_add_one():
+    expr = MapCall(
+        FilterCall(
+            Ref("xs"),
+            Lambda(("x",), Compare(">", Ref("x"), Const(-1))),
+        ),
+        Lambda(("x",), BinOp("+", Ref("x"), Const(1))),
+    )
+    return lower(normalize(resugar(expr)))
+
+
+def _engine(cls=SparkLikeEngine, **kwargs):
+    return cls(cluster=ClusterConfig(num_workers=4), **kwargs)
+
+
+def _run(engine, n=40):
+    plan = _plan_add_one()
+    env = {"xs": DataBag(list(range(n)))}
+    return sorted(engine.collect(engine.defer(plan, env)))
+
+
+EXPECTED = sorted(x + 1 for x in range(40))
+
+
+class TestFaultPlan:
+    def test_uniform_is_deterministic_and_in_range(self):
+        plan = FaultPlan(seed=5)
+        draws = [plan.uniform(CRASH, t) for t in range(200)]
+        assert draws == [plan.uniform(CRASH, t) for t in range(200)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        # Different kinds and seeds decorrelate.
+        assert draws != [
+            plan.uniform(STRAGGLER, t) for t in range(200)
+        ]
+        assert draws != [
+            FaultPlan(seed=6).uniform(CRASH, t) for t in range(200)
+        ]
+
+    def test_unknown_event_kind_rejected(self):
+        with pytest.raises(EngineError, match="unknown fault kind"):
+            FaultEvent("meteor")
+
+    def test_aggressive_guarantees_every_kind(self):
+        plan = FaultPlan.aggressive()
+        kinds = {e.kind for e in plan.events}
+        assert kinds == {CRASH, WORKER_LOSS, STRAGGLER}
+
+    def test_backoff_total_is_exponential(self):
+        policy = RetryPolicy(backoff_seconds=0.01, backoff_factor=2.0)
+        assert policy.backoff_total(3) == pytest.approx(
+            0.01 + 0.02 + 0.04
+        )
+
+
+class TestInjectorScheduling:
+    def test_same_plan_same_schedule(self):
+        plan = FaultPlan.aggressive(seed=23)
+        runs = []
+        for _ in range(2):
+            engine = _engine(fault_plan=plan)
+            result = _run(engine)
+            m = engine.metrics
+            runs.append(
+                (
+                    result,
+                    m.tasks_retried,
+                    m.workers_lost,
+                    m.stragglers_injected,
+                    m.simulated_seconds,
+                )
+            )
+        assert runs[0] == runs[1]
+
+    def test_crash_retries_charge_time(self):
+        clean = _engine()
+        _run(clean)
+        faulty = _engine(
+            fault_plan=FaultPlan(events=(FaultEvent(CRASH, task=2),))
+        )
+        assert _run(faulty) == EXPECTED
+        assert faulty.metrics.tasks_retried == 1
+        assert faulty.metrics.recovery_seconds > 0
+        assert (
+            faulty.metrics.simulated_seconds
+            > clean.metrics.simulated_seconds
+        )
+
+    def test_straggler_charges_delay_only(self):
+        faulty = _engine(
+            fault_plan=FaultPlan(
+                events=(FaultEvent(STRAGGLER, task=2),),
+                straggler_delay_seconds=0.25,
+            )
+        )
+        assert _run(faulty) == EXPECTED
+        assert faulty.metrics.stragglers_injected == 1
+        assert faulty.metrics.tasks_retried == 0
+
+    def test_task_exhausting_retries_fails_permanently(self):
+        engine = _engine(
+            fault_plan=FaultPlan(
+                events=(FaultEvent(CRASH, task=2, attempts=4),)
+            ),
+            retry_policy=RetryPolicy(max_attempts=4),
+        )
+        with pytest.raises(TaskFailedError) as info:
+            _run(engine)
+        site = info.value.failure_site()
+        assert site["task"] == 2
+        assert "partition" in site and "worker" in site
+        assert info.value.metrics is not None
+
+    def test_repeated_failures_blacklist_worker(self):
+        # The job runs 8 tasks (4 partitions x filter, map); tasks 1
+        # and 5 are partition 1's, both on worker 1.
+        events = tuple(
+            FaultEvent(CRASH, task=t) for t in (1, 5)
+        )
+        engine = _engine(
+            fault_plan=FaultPlan(events=events),
+            retry_policy=RetryPolicy(blacklist_after=2),
+        )
+        assert _run(engine) == EXPECTED
+        assert engine.metrics.workers_blacklisted == 1
+        faults = engine.faults
+        (bad,) = faults.blacklisted
+        # The blacklisted worker's tasks land on a healthy neighbour.
+        assert faults.effective_worker(bad) != bad
+
+    def test_blacklist_fraction_cap(self):
+        policy = RetryPolicy(
+            blacklist_after=1, max_blacklisted_fraction=0.25
+        )
+        events = tuple(
+            FaultEvent(CRASH, task=t) for t in range(0, 32, 2)
+        )
+        engine = _engine(
+            fault_plan=FaultPlan(events=events), retry_policy=policy
+        )
+        assert _run(engine) == EXPECTED
+        # A 4-worker cluster at fraction 0.25 blacklists at most one.
+        assert len(engine.faults.blacklisted) <= 1
+
+    def test_all_blacklisted_raises(self):
+        injector = FaultInjector(FaultPlan(), RetryPolicy(), 2)
+        injector.blacklisted = {0, 1}
+        with pytest.raises(EngineError, match="blacklisted"):
+            injector.effective_worker(0)
+
+    def test_suspend_disables_injection(self):
+        engine = _engine(
+            fault_plan=FaultPlan(events=(FaultEvent(CRASH, task=0),))
+        )
+        with engine.faults.suspend():
+            _run(engine)
+        assert engine.metrics.tasks_retried == 0
+        # The event is still pending once injection resumes.
+        assert not engine.faults._fired_events
+
+    def test_probabilistic_budgets_are_respected(self):
+        plan = FaultPlan(
+            task_crash_prob=1.0,
+            max_task_crashes=3,
+            straggler_prob=1.0,
+            max_stragglers=2,
+        )
+        engine = _engine(fault_plan=plan)
+        assert _run(engine) == EXPECTED
+        assert engine.faults.injected_crashes == 3
+        assert engine.faults.injected_stragglers == 2
+
+
+class TestLineageRecovery:
+    def test_worker_loss_recomputes_from_lineage(self):
+        engine = _engine()
+        plan = _plan_add_one()
+        env = {"xs": DataBag(list(range(40)))}
+        handle = engine.cache(engine.defer(plan, env))
+        assert handle.lineage_root is not None
+        job = engine._new_job()
+        engine.on_worker_lost(1, job)
+        engine._finish_job(job)
+        assert handle.lost_partitions
+        assert sorted(engine.collect(handle)) == EXPECTED
+        assert not handle.lost_partitions
+        assert engine.metrics.partitions_recomputed > 0
+        assert engine.metrics.recovery_seconds > 0
+
+    def test_recovery_preserves_partition_layout(self):
+        engine = _engine()
+        plan = _plan_add_one()
+        env = {"xs": DataBag(list(range(40)))}
+        handle = engine.cache(engine.defer(plan, env))
+        before = [list(p) for p in handle.bag.partitions]
+        job = engine._new_job()
+        engine.on_worker_lost(2, job)
+        engine._recover_handle(handle, job)
+        engine._finish_job(job)
+        assert [list(p) for p in handle.bag.partitions] == before
+
+    def test_driver_replica_recovery_without_lineage(self):
+        engine = _engine()
+        records = [(i, i * i) for i in range(30)]
+        handle = engine.cache(records)
+        assert handle.lineage_root is None
+        assert handle.recovery_partitions is not None
+        job = engine._new_job()
+        engine.on_worker_lost(0, job)
+        engine._finish_job(job)
+        assert sorted(engine.collect(handle)) == sorted(records)
+        assert engine.metrics.partitions_recomputed > 0
+
+    def test_dfs_backed_cache_survives_worker_loss(self):
+        engine = _engine(FlinkLikeEngine)
+        handle = engine.cache(list(range(30)))
+        assert handle.storage == "dfs"
+        assert handle.mark_lost(1, engine.cluster.num_workers) == []
+        job = engine._new_job()
+        engine.on_worker_lost(1, job)
+        engine._finish_job(job)
+        assert not handle.lost_partitions
+        assert sorted(engine.collect(handle)) == list(range(30))
+        assert engine.metrics.partitions_recomputed == 0
+
+    def test_unrecoverable_handle_raises(self):
+        from repro.engines.base import BagHandle
+        from repro.engines.cluster import PartitionedBag
+
+        engine = _engine()
+        handle = BagHandle(
+            engine, PartitionedBag([[1], [2]]), "memory"
+        )
+        handle.lost_partitions = {0}
+        with pytest.raises(EngineError, match="neither lineage"):
+            engine._recover_handle(handle, engine._new_job())
+
+
+@dataclass(frozen=True)
+class KV:
+    key: int
+    value: int
+
+
+def _bump(e: KV) -> KV:
+    return KV(e.key, e.value + 1)
+
+
+class TestStatefulCheckpointing:
+    def _updated_state(self, interval, updates=6, lose_after=5):
+        engine = _engine(checkpoint_interval=interval)
+        state = DistributedStatefulBag(
+            engine, [KV(i, 0) for i in range(32)]
+        )
+        for _ in range(lose_after):
+            state.update(_bump)
+        job = engine._new_job()
+        state.on_worker_lost(1, job)
+        engine._finish_job(job)
+        for _ in range(updates - lose_after):
+            state.update(_bump)
+        return engine, state
+
+    def test_restore_is_exact(self):
+        engine, state = self._updated_state(interval=0)
+        values = {e.key: e.value for e in state.bag().collect()}
+        assert values == {i: 6 for i in range(32)}
+        assert engine.metrics.checkpoint_restores == 1
+        assert engine.metrics.state_updates_replayed > 0
+
+    def test_interval_checkpoints_bound_replay(self):
+        no_ckpt, _ = self._updated_state(interval=0)
+        with_ckpt, state = self._updated_state(interval=2)
+        assert with_ckpt.metrics.checkpoints_written > 0
+        # Checkpoint at update 4 truncates the log: the restore after
+        # update 5 replays one logged update per lost partition instead
+        # of all five — the point of interval checkpointing.
+        assert (
+            with_ckpt.metrics.state_updates_replayed
+            < no_ckpt.metrics.state_updates_replayed
+        )
+        values = {e.key: e.value for e in state.bag().collect()}
+        assert values == {i: 6 for i in range(32)}
+
+    def test_worker_loss_during_update_is_transparent(self):
+        engine = _engine(
+            fault_plan=FaultPlan(
+                events=(FaultEvent(WORKER_LOSS, task=2),)
+            ),
+            checkpoint_interval=2,
+        )
+        state = DistributedStatefulBag(
+            engine, [KV(i, 0) for i in range(32)]
+        )
+        for _ in range(4):
+            state.update(_bump)
+        values = {e.key: e.value for e in state.bag().collect()}
+        assert values == {i: 4 for i in range(32)}
+        assert engine.metrics.workers_lost == 1
+        assert engine.metrics.checkpoint_restores == 1
+
+    def test_delta_handles_survive_worker_loss(self):
+        engine = _engine()
+        state = DistributedStatefulBag(
+            engine, [KV(i, 0) for i in range(32)]
+        )
+        delta = state.update(_bump)
+        expected = sorted(
+            (e.key, e.value) for e in delta.bag.records()
+        )
+        job = engine._new_job()
+        engine.on_worker_lost(2, job)
+        engine._finish_job(job)
+        recovered = sorted(
+            (e.key, e.value) for e in engine.collect(delta)
+        )
+        assert recovered == expected

@@ -40,6 +40,13 @@ from repro.comprehension.normalize import normalize
 from repro.comprehension.resugar import resugar
 from repro.core.databag import DataBag
 from repro.engines.cluster import ClusterConfig
+from repro.engines.faults import (
+    CRASH,
+    STRAGGLER,
+    WORKER_LOSS,
+    FaultEvent,
+    FaultPlan,
+)
 from repro.engines.flinklike import FlinkLikeEngine
 from repro.engines.sparklike import SparkLikeEngine
 from repro.lowering.chaining import chain_operators
@@ -223,6 +230,85 @@ def test_terminal_folds_match_the_oracle(descriptors, xs, ys):
     oracle = evaluate(expr, dict(env))
     engine = SparkLikeEngine(cluster=ClusterConfig(num_workers=4))
     assert run_compiled(expr, dict(env), engine, True, True) == oracle
+
+
+# ---------------------------------------------------------------------------
+# Fault-plan fuzzing: random pipelines under random deterministic fault
+# schedules must still match the oracle bit for bit — crashes, worker
+# losses, and stragglers may only cost simulated time.
+# ---------------------------------------------------------------------------
+
+_EVENT_MIXES = (
+    (),
+    (FaultEvent(CRASH, task=1),),
+    (FaultEvent(WORKER_LOSS, task=2),),
+    (
+        FaultEvent(CRASH, task=0),
+        FaultEvent(STRAGGLER, task=1),
+        FaultEvent(WORKER_LOSS, task=3),
+    ),
+)
+
+fault_plans = st.builds(
+    FaultPlan,
+    seed=st.integers(min_value=0, max_value=2**16),
+    task_crash_prob=st.floats(min_value=0.0, max_value=0.25),
+    worker_loss_prob=st.floats(min_value=0.0, max_value=0.08),
+    straggler_prob=st.floats(min_value=0.0, max_value=0.25),
+    crash_attempts=st.integers(min_value=1, max_value=2),
+    max_task_crashes=st.just(32),
+    max_worker_losses=st.just(4),
+    max_stragglers=st.just(32),
+    events=st.sampled_from(_EVENT_MIXES),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(stage_descriptors, int_bags, int_bags, fault_plans)
+def test_fault_injection_never_changes_results(
+    descriptors, xs, ys, plan
+):
+    expr = build_pipeline(descriptors)
+    env = {"xs": DataBag(xs), "ys": DataBag(ys)}
+    oracle = evaluate(expr, dict(env))
+
+    for engine_cls in (SparkLikeEngine, FlinkLikeEngine):
+        engine = engine_cls(
+            cluster=ClusterConfig(num_workers=3), fault_plan=plan
+        )
+        result = run_compiled(
+            expr, dict(env), engine, True, True, chain=True
+        )
+        assert result == oracle, (
+            f"{engine_cls.__name__} diverged under fault plan "
+            f"seed={plan.seed}"
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(stage_descriptors, int_bags, int_bags)
+def test_fault_schedule_is_reproducible(descriptors, xs, ys):
+    """Same plan, same program → identical injections and timings."""
+    expr = build_pipeline(descriptors)
+    env = {"xs": DataBag(xs), "ys": DataBag(ys)}
+    plan = FaultPlan.aggressive(seed=29)
+    observations = []
+    for _ in range(2):
+        engine = SparkLikeEngine(
+            cluster=ClusterConfig(num_workers=3), fault_plan=plan
+        )
+        run_compiled(expr, dict(env), engine, True, True, chain=True)
+        m = engine.metrics
+        observations.append(
+            (
+                m.tasks_retried,
+                m.workers_lost,
+                m.stragglers_injected,
+                m.recovery_seconds,
+                m.simulated_seconds,
+            )
+        )
+    assert observations[0] == observations[1]
 
 
 @settings(max_examples=40, deadline=None)

@@ -1,0 +1,176 @@
+"""Tests for the exception taxonomy and the simulated failure paths.
+
+Every library error derives from :class:`EmmaError`; engine failures
+carry their execution context (failing job/task/partition/worker plus a
+metrics snapshot) so callers can see how far a failed run got.
+"""
+
+import pytest
+
+from repro.comprehension.exprs import (
+    BinOp,
+    Const,
+    GroupByCall,
+    Lambda,
+    MapCall,
+    Ref,
+)
+from repro.comprehension.normalize import normalize
+from repro.comprehension.resugar import resugar
+from repro.core.databag import DataBag
+from repro.engines.cluster import ClusterConfig, stable_hash
+from repro.engines.costmodel import CostModel
+from repro.engines.metrics import Metrics
+from repro.engines.sparklike import SparkLikeEngine
+from repro.errors import (
+    ComprehensionError,
+    EmmaError,
+    EngineError,
+    FoldConditionError,
+    LiftError,
+    LoweringError,
+    PlanError,
+    SimulatedMemoryError,
+    SimulatedTimeout,
+    TaskFailedError,
+)
+from repro.lowering.rules import lower
+
+
+class TestTaxonomy:
+    def test_every_error_is_an_emma_error(self):
+        for cls in (
+            LiftError,
+            ComprehensionError,
+            LoweringError,
+            PlanError,
+            EngineError,
+            TaskFailedError,
+            SimulatedTimeout,
+            SimulatedMemoryError,
+            FoldConditionError,
+        ):
+            assert issubclass(cls, EmmaError)
+
+    def test_engine_failures_share_a_catch_clause(self):
+        for cls in (
+            TaskFailedError,
+            SimulatedTimeout,
+            SimulatedMemoryError,
+        ):
+            assert issubclass(cls, EngineError)
+
+    def test_failure_site_reports_known_coordinates_only(self):
+        err = EngineError("boom", task=7, worker=2)
+        assert err.failure_site() == {"task": 7, "worker": 2}
+        assert EngineError("boom").failure_site() == {}
+
+    def test_context_defaults_are_none(self):
+        err = EngineError("boom")
+        assert err.job is None and err.metrics is None
+
+
+def _map_plan():
+    expr = MapCall(
+        Ref("xs"), Lambda(("x",), BinOp("*", Ref("x"), Const(2)))
+    )
+    return lower(normalize(resugar(expr)))
+
+
+def _group_plan():
+    expr = GroupByCall(
+        Ref("xs"), Lambda(("x",), BinOp("%", Ref("x"), Const(3)))
+    )
+    return lower(normalize(resugar(expr)))
+
+
+class TestSimulatedTimeout:
+    def test_exceeding_the_budget_raises_with_context(self):
+        engine = SparkLikeEngine(
+            cluster=ClusterConfig(num_workers=4), time_budget=1e-12
+        )
+        env = {"xs": DataBag(list(range(50)))}
+        with pytest.raises(SimulatedTimeout) as info:
+            engine.collect(engine.defer(_map_plan(), env))
+        err = info.value
+        assert err.simulated_seconds > err.budget_seconds
+        assert isinstance(err.metrics, Metrics)
+        assert err.metrics.simulated_seconds == pytest.approx(
+            err.simulated_seconds
+        )
+
+    def test_within_budget_passes(self):
+        engine = SparkLikeEngine(
+            cluster=ClusterConfig(num_workers=4), time_budget=1e6
+        )
+        env = {"xs": DataBag(list(range(50)))}
+        result = engine.collect(engine.defer(_map_plan(), env))
+        assert sorted(result) == [2 * x for x in range(50)]
+
+
+class TestSimulatedMemoryError:
+    def test_group_materialization_over_limit_raises(self):
+        # The Spark-like engine materializes groups in bounded worker
+        # memory (the paper's missing-fold-group-fusion failure mode).
+        engine = SparkLikeEngine(
+            cluster=ClusterConfig(num_workers=4),
+            cost=CostModel(memory_per_worker=8),
+        )
+        env = {"xs": DataBag(list(range(200)))}
+        with pytest.raises(SimulatedMemoryError) as info:
+            engine.collect(engine.defer(_group_plan(), env))
+        err = info.value
+        assert err.used_bytes > err.limit_bytes == 8
+        site = err.failure_site()
+        assert "worker" in site and "partition" in site
+        assert isinstance(err.metrics, Metrics)
+
+
+class TestStableHash:
+    def test_closed_set_is_deterministic(self):
+        values = [
+            True,
+            42,
+            -7,
+            "key",
+            b"key",
+            3.25,
+            (1, "a"),
+            [1, 2, 3],
+            {1, 2},
+            frozenset({3}),
+            None,
+        ]
+        for v in values:
+            assert stable_hash(v) == stable_hash(v)
+
+    def test_dataclasses_hash_field_wise(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class P:
+            x: int
+            tags: list
+
+        assert stable_hash(P(1, ["a"])) == stable_hash(P(1, ["a"]))
+        assert stable_hash(P(1, ["a"])) != stable_hash(P(2, ["a"]))
+
+    def test_equal_fields_different_types_hash_apart(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class A:
+            x: int
+
+        @dataclass(frozen=True)
+        class B:
+            x: int
+
+        assert stable_hash(A(5)) != stable_hash(B(5))
+
+    def test_arbitrary_objects_are_rejected(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(EngineError, match="stable partition hash"):
+            stable_hash(Opaque())

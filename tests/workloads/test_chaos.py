@@ -1,0 +1,196 @@
+"""Chaos-differential suite: every workload under aggressive faults.
+
+The headline guarantee of the fault-injection subsystem: a run under an
+aggressive deterministic fault plan — task crashes, whole-worker loss,
+stragglers — must produce *bit-identical* results to the fault-free
+run, on both engines, with operator chaining on and off.  Faults may
+only cost simulated time, never correctness.
+
+The :meth:`FaultPlan.aggressive` schedule guarantees at least one
+crash, one worker loss, and one straggler per run via explicit early
+events, on top of seeded probabilistic background fire.
+"""
+
+import pytest
+
+from repro.api import DataBag, EmmaConfig
+from repro.engines.cluster import ClusterConfig
+from repro.engines.dfs import SimulatedDFS
+from repro.engines.faults import FaultPlan
+from repro.engines.flinklike import FlinkLikeEngine
+from repro.engines.sparklike import SparkLikeEngine
+from repro.workloads import datagen, graphs
+from repro.workloads.connected_components import connected_components
+from repro.workloads.kmeans import initial_centroids, kmeans
+from repro.workloads.pagerank import pagerank
+from repro.workloads.spam import default_classifiers, select_classifier
+from repro.workloads.tpch import stage_tpch, tpch_q1, tpch_q4
+
+ENGINES = {"spark": SparkLikeEngine, "flink": FlinkLikeEngine}
+
+CHAOS = FaultPlan.aggressive(seed=17)
+
+
+@pytest.fixture(scope="module")
+def world():
+    """Shared staged datasets (module-scoped: generation is costly)."""
+    dfs = SimulatedDFS()
+    emails_path, blacklist_path = datagen.stage_spam_inputs(
+        dfs, num_emails=240, num_blacklisted=20, num_ips=90
+    )
+    points_path = datagen.stage_points(dfs, n=150, centers=3, dim=2)
+    graph_path = graphs.stage_follower_graph(dfs, num_vertices=90)
+    cc_path = "data/cc-graph"
+    dfs.put(cc_path, graphs.generate_component_graph(60, num_components=3))
+    orders_path, lineitem_path = stage_tpch(dfs, sf=0.05)
+    return {
+        "dfs": dfs,
+        "emails": emails_path,
+        "blacklist": blacklist_path,
+        "points": points_path,
+        "graph": graph_path,
+        "cc": cc_path,
+        "orders": orders_path,
+        "lineitem": lineitem_path,
+    }
+
+
+def _materialize(result):
+    if isinstance(result, DataBag):
+        return sorted(result.fetch(), key=repr)
+    if isinstance(result, tuple):
+        return tuple(_materialize(r) for r in result)
+    if isinstance(result, list):
+        return sorted(result, key=repr)
+    return result
+
+
+def run_pair(world, kind, chain, algo, **params):
+    """Run fault-free and chaos configs; return (clean, chaos engine)."""
+    cls = ENGINES[kind]
+
+    clean_engine = cls(
+        cluster=ClusterConfig(num_workers=4), dfs=world["dfs"]
+    )
+    clean = algo.run(
+        clean_engine,
+        config=EmmaConfig(operator_chaining=chain),
+        **params,
+    )
+
+    chaos_engine = cls(
+        cluster=ClusterConfig(num_workers=4), dfs=world["dfs"]
+    )
+    faulty = algo.run(
+        chaos_engine,
+        config=EmmaConfig(
+            operator_chaining=chain,
+            fault_plan=CHAOS,
+            checkpoint_interval=2,
+        ),
+        **params,
+    )
+
+    # Bit-identical results: faults cost simulated time, never change
+    # what the program computes.
+    assert _materialize(faulty) == _materialize(clean), (
+        f"{algo.name} on {kind} (chaining={chain}) diverged under faults"
+    )
+    m = chaos_engine.metrics
+    assert m.tasks_retried > 0, "chaos run saw no task retry"
+    assert m.workers_lost > 0, "chaos run saw no worker loss"
+    assert m.stragglers_injected > 0, "chaos run saw no straggler"
+    assert m.recovery_seconds > 0
+    # Recovery is visible in the simulated time, not free.
+    assert (
+        m.simulated_seconds > clean_engine.metrics.simulated_seconds
+    )
+    return clean_engine, chaos_engine
+
+
+ENGINE_CHAIN = [
+    pytest.param(kind, chain, id=f"{kind}-chain{'on' if chain else 'off'}")
+    for kind in ENGINES
+    for chain in (True, False)
+]
+
+
+@pytest.mark.parametrize("kind,chain", ENGINE_CHAIN)
+class TestChaosDifferential:
+    def test_spam(self, world, kind, chain):
+        run_pair(
+            world,
+            kind,
+            chain,
+            select_classifier,
+            emails_path=world["emails"],
+            blacklist_path=world["blacklist"],
+            classifiers=default_classifiers(3),
+        )
+
+    def test_kmeans(self, world, kind, chain):
+        init = initial_centroids(
+            world["dfs"].get(world["points"]).records, 3
+        )
+        _, chaos = run_pair(
+            world,
+            kind,
+            chain,
+            kmeans,
+            points_path=world["points"],
+            initial=init,
+            epsilon=1e-6,
+            max_iterations=8,
+        )
+        if kind == "spark":
+            # Worker loss hits the in-memory point cache; the next read
+            # rebuilds the lost partitions from lineage.
+            assert chaos.metrics.partitions_recomputed > 0
+
+    def test_pagerank(self, world, kind, chain):
+        n = len(world["dfs"].get(world["graph"]).records)
+        _, chaos = run_pair(
+            world,
+            kind,
+            chain,
+            pagerank,
+            graph_path=world["graph"],
+            num_pages=n,
+            max_iterations=5,
+        )
+        # Iterative state survives worker loss via checkpoint + replay.
+        assert chaos.metrics.checkpoint_restores > 0
+        if kind == "spark":
+            assert chaos.metrics.partitions_recomputed > 0
+
+    def test_connected_components(self, world, kind, chain):
+        _, chaos = run_pair(
+            world,
+            kind,
+            chain,
+            connected_components,
+            graph_path=world["cc"],
+        )
+        assert chaos.metrics.checkpoint_restores > 0
+
+    def test_tpch_q1(self, world, kind, chain):
+        run_pair(
+            world,
+            kind,
+            chain,
+            tpch_q1,
+            lineitem_path=world["lineitem"],
+            ship_date_max="1996-12-01",
+        )
+
+    def test_tpch_q4(self, world, kind, chain):
+        run_pair(
+            world,
+            kind,
+            chain,
+            tpch_q4,
+            orders_path=world["orders"],
+            lineitem_path=world["lineitem"],
+            date_min="1994-01-01",
+            date_max="1994-07-01",
+        )
