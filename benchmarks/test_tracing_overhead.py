@@ -1,0 +1,74 @@
+"""Tracing overhead on the chaining-ablation kernel loop.
+
+The runtime tracer is opt-in, and every emission site is guarded by a
+single ``if tracer is not None`` — so the disabled mode costs one
+attribute load per operator over the untraced executor.  This
+benchmark bounds both modes on the chain-heavy kernel loop from
+``test_ablation_chaining``:
+
+tracing **enabled** must stay within 50% wall-clock of disabled (it is
+~10% in practice — span objects on the simulated clock, no I/O), with
+byte-identical results.  Cost-model neutrality (tracing observes
+simulated time, never charges it) is asserted in
+``tests/engines/test_tracing.py::TestTracerBasics``.
+
+Interleaved best-of-three trials, as in the other ablations, so a
+noise spike on either side cannot fake a result.
+"""
+
+from conftest import run_once
+from test_ablation_chaining import _kernel_loop
+
+from repro.engines.dfs import SimulatedDFS
+from repro.engines.executor import JobExecutor
+from repro.experiments.runner import bench_cost_model, make_engine
+from repro.workloads import datagen
+from repro.workloads.datagen import extract_features
+
+
+def _run_overhead_trial():
+    emails = [
+        extract_features(r)
+        for r in datagen.generate_emails(30000, 500, seed=11)
+    ]
+    engine = make_engine(
+        "spark", SimulatedDFS(), num_workers=8, cost=bench_cost_model()
+    )
+    bag = JobExecutor(engine, {}, engine._new_job()).parallelize_local(
+        emails
+    )
+    # Warm both paths, then interleave the trials.
+    _kernel_loop(engine, bag, True, reps=1)
+    engine.enable_tracing()
+    _kernel_loop(engine, bag, True, reps=1)
+    engine.disable_tracing()
+
+    off_times, on_times = [], []
+    off_out = on_out = None
+    for _ in range(3):
+        engine.disable_tracing()
+        t_off, off_out = _kernel_loop(engine, bag, True)
+        engine.enable_tracing()
+        t_on, on_out = _kernel_loop(engine, bag, True)
+        off_times.append(t_off)
+        on_times.append(t_on)
+    engine.disable_tracing()
+    return {
+        "off_seconds": min(off_times),
+        "on_seconds": min(on_times),
+        "identical": off_out == on_out,
+    }
+
+
+def test_tracing_overhead_bounded(benchmark):
+    stats = run_once(benchmark, _run_overhead_trial)
+    overhead = stats["on_seconds"] / stats["off_seconds"] - 1.0
+    print()
+    print(
+        f"tracing overhead   off={stats['off_seconds']:.3f}s "
+        f"on={stats['on_seconds']:.3f}s (+{overhead:.1%})"
+    )
+    assert stats["identical"], "tracing changed results"
+    # Enabled tracing bounds the disabled-guard cost from above: the
+    # off path does strictly less work per operator.
+    assert overhead < 0.5, f"tracing overhead {overhead:.1%}"

@@ -30,6 +30,7 @@ from repro.core.io import (
 from repro.core.stateful import StatefulBag
 from repro.engines import (
     ClusterConfig,
+    CompileTrace,
     CostModel,
     FaultEvent,
     FaultPlan,
@@ -37,8 +38,12 @@ from repro.engines import (
     LocalEngine,
     Metrics,
     RetryPolicy,
+    RuntimeTracer,
     SimulatedDFS,
     SparkLikeEngine,
+    TracedRun,
+    TraceSpan,
+    render_span_tree,
 )
 from repro.errors import (
     EmmaError,
@@ -83,6 +88,7 @@ def stateful(
 __all__ = [
     "Algorithm",
     "ClusterConfig",
+    "CompileTrace",
     "CostModel",
     "CsvFormat",
     "DataBag",
@@ -97,14 +103,18 @@ __all__ = [
     "Metrics",
     "OptimizationReport",
     "RetryPolicy",
+    "RuntimeTracer",
     "SimulatedDFS",
     "SimulatedMemoryError",
     "SimulatedTimeout",
     "SparkLikeEngine",
     "StatefulBag",
     "TaskFailedError",
+    "TracedRun",
+    "TraceSpan",
     "parallelize",
     "read",
+    "render_span_tree",
     "stateful",
     "write",
 ]

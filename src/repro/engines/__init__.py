@@ -36,6 +36,14 @@ from repro.engines.flinklike import FlinkLikeEngine
 from repro.engines.local import LocalEngine
 from repro.engines.metrics import Metrics
 from repro.engines.sparklike import SparkLikeEngine
+from repro.engines.tracing import (
+    CompileTrace,
+    RuntimeTracer,
+    TracedRun,
+    TraceEvent,
+    TraceSpan,
+    render_span_tree,
+)
 
 __all__ = [
     "BagHandle",
@@ -54,4 +62,10 @@ __all__ = [
     "LocalEngine",
     "Metrics",
     "SparkLikeEngine",
+    "CompileTrace",
+    "RuntimeTracer",
+    "TracedRun",
+    "TraceEvent",
+    "TraceSpan",
+    "render_span_tree",
 ]

@@ -36,6 +36,7 @@ from repro.engines.costmodel import CostModel
 from repro.engines.dfs import SimulatedDFS
 from repro.engines.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.engines.metrics import JobRun, Metrics
+from repro.engines.tracing import RuntimeTracer
 from repro.errors import EngineError, SimulatedTimeout
 from repro.lowering.combinators import Combinator, ScalarFn
 
@@ -186,6 +187,9 @@ class Engine:
         #: DFS (0 = only the initial driver snapshot is kept)
         self.checkpoint_interval = checkpoint_interval
         self.faults: FaultInjector | None = None
+        #: hierarchical span collector; None (the default) keeps every
+        #: tracing call site a single attribute check
+        self.tracer: RuntimeTracer | None = None
         self.retry_policy = retry_policy or RetryPolicy()
         if fault_plan is not None:
             self.configure_faults(fault_plan, retry_policy)
@@ -223,6 +227,19 @@ class Engine:
             self.configure_faults(config.fault_plan, config.retry_policy)
         if config.checkpoint_interval:
             self.checkpoint_interval = config.checkpoint_interval
+        if config.tracing:
+            self.enable_tracing()
+
+    def enable_tracing(self) -> RuntimeTracer:
+        """Install (idempotently) and return the engine's span tracer."""
+        if self.tracer is None:
+            self.tracer = RuntimeTracer(engine=self.name)
+        return self.tracer
+
+    def disable_tracing(self) -> None:
+        """Stop collecting spans (already-collected spans are kept by
+        whoever holds the tracer)."""
+        self.tracer = None
 
     # -- worker loss and recovery -----------------------------------------
 
@@ -300,6 +317,16 @@ class Engine:
         handle.lost_partitions.clear()
         self.metrics.partitions_recomputed += len(lost)
         self.metrics.recovery_seconds += job.total_seconds() - before
+        if self.tracer is not None:
+            self.tracer.event(
+                "recover:partitions",
+                ts=job.trace_ts(),
+                partitions=len(lost),
+                source="lineage"
+                if handle.lineage_root is not None
+                else "driver-replica",
+                seconds=round(job.total_seconds() - before, 9),
+            )
 
     # -- driver-facing API -------------------------------------------------
 
@@ -457,13 +484,35 @@ class Engine:
     # -- job lifecycle -------------------------------------------------------
 
     def _new_job(self) -> JobRun:
-        return JobRun(self.cluster.num_workers, self.metrics)
+        job = JobRun(
+            self.cluster.num_workers,
+            self.metrics,
+            start_ts=self.metrics.simulated_seconds,
+        )
+        if self.tracer is not None:
+            index = self.tracer.next_job_index()
+            job.span = self.tracer.begin(
+                f"job {index}",
+                "job",
+                ts=job.start_ts,
+                job_index=index,
+                workers=self.cluster.num_workers,
+            )
+        return job
 
     def _finish_job(self, job: JobRun) -> float:
         job_time = job.finish(
             fixed_overhead=self.cost.job_overhead,
             stage_overhead=self.cost.stage_overhead,
         )
+        if self.tracer is not None and job.span is not None:
+            self.tracer.end_at_duration(
+                job.span,
+                job_time,
+                stages=job.stages,
+                busy_seconds=round(max(job.worker_seconds, default=0.0), 9),
+                driver_seconds=round(job.driver_seconds, 9),
+            )
         if (
             self.time_budget is not None
             and self.metrics.simulated_seconds > self.time_budget

@@ -181,6 +181,20 @@ class PartitionedBag:
         """Estimated bytes per partition (skew diagnostics)."""
         return [estimate_bag_bytes(p) for p in self.partitions]
 
+    def trace_attrs(self) -> dict[str, int]:
+        """Size and skew measurements for a trace span.
+
+        ``max_partition_bytes`` vs ``bytes_out / partitions`` exposes
+        key skew directly in the span tree (the Figure 5c effect).
+        """
+        sizes = self.partition_bytes()
+        return {
+            "rows_out": self.count(),
+            "bytes_out": sum(sizes),
+            "partitions": self.num_partitions,
+            "max_partition_bytes": max(sizes, default=0),
+        }
+
     def copy(self) -> "PartitionedBag":
         """A deep-enough copy (fresh partition lists, same records)."""
         return PartitionedBag(

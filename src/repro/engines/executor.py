@@ -160,9 +160,30 @@ class JobExecutor:
             raise EngineError(
                 f"engine cannot execute combinator {type(comb).__name__}"
             )
-        bag = handler(self, comb)
-        if comb.partition_hint is not None:
-            bag = self.shuffle_by_key(bag, comb.partition_hint)
+        tracer = self.engine.tracer
+        if tracer is None:
+            bag = handler(self, comb)
+            if comb.partition_hint is not None:
+                bag = self.shuffle_by_key(bag, comb.partition_hint)
+        else:
+            span = tracer.begin(
+                comb.label(),
+                "operator",
+                ts=self.job.trace_ts(),
+                op=comb.describe(),
+            )
+            before_busy = self.job.total_seconds()
+            bag = handler(self, comb)
+            if comb.partition_hint is not None:
+                bag = self.shuffle_by_key(bag, comb.partition_hint)
+            tracer.end(
+                span,
+                end_ts=self.job.trace_ts(),
+                compute_seconds=round(
+                    self.job.total_seconds() - before_busy, 9
+                ),
+                **bag.trace_attrs(),
+            )
         self._dag_memo[memo_key] = bag
         return bag
 
@@ -389,10 +410,25 @@ class JobExecutor:
         self, bag: PartitionedBag, key_ir: ScalarFn
     ) -> PartitionedBag:
         """Hash-repartition ``bag`` on ``key_ir`` (no-op if already so)."""
+        tracer = self.engine.tracer
         if bag.partitioner is not None and bag.partitioner.matches(
             key_ir, bag.num_partitions
         ):
+            if tracer is not None:
+                tracer.event(
+                    "shuffle-elided",
+                    ts=self.job.trace_ts(),
+                    key=key_ir.describe(),
+                )
             return bag
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "Shuffle",
+                "stage",
+                ts=self.job.trace_ts(),
+                key=key_ir.describe(),
+            )
         key_fn, extra = self._compile_udf(key_ir)
         n_parts = self.parallelism
         new_partitions: list[list[Any]] = [[] for _ in range(n_parts)]
@@ -426,6 +462,13 @@ class JobExecutor:
         self.engine.metrics.shuffle_bytes += total_moved
         self.engine.metrics.records_shuffled += bag.count()
         self.job.add_stage()
+        if span is not None:
+            tracer.end(
+                span,
+                end_ts=self.job.trace_ts(),
+                shuffle_bytes=total_moved,
+                records=bag.count(),
+            )
         return PartitionedBag(
             new_partitions, Partitioner(key_ir, n_parts)
         )
@@ -453,6 +496,12 @@ class JobExecutor:
             )
         nbytes = estimate_bag_bytes(records)
         factor = self.engine.broadcast_factor
+        tracer = self.engine.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "Broadcast", "stage", ts=self.job.trace_ts()
+            )
         per_worker = self.engine.cost.network_seconds(nbytes * factor)
         self.job.charge_all_workers(per_worker)
         self.engine.metrics.broadcast_bytes += int(
@@ -462,6 +511,13 @@ class JobExecutor:
             len(records) * self.num_workers
         )
         self.job.add_stage()
+        if span is not None:
+            tracer.end(
+                span,
+                end_ts=self.job.trace_ts(),
+                broadcast_bytes=int(nbytes * self.num_workers * factor),
+                records=len(records),
+            )
         local = DataBag(records)
         self._broadcast_memo[memo_key] = local
         return local
@@ -951,6 +1007,15 @@ class JobExecutor:
     # -- folds --------------------------------------------------------------------------
 
     def _exec_fold(self, comb: CFold) -> Any:
+        tracer = self.engine.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                comb.label(),
+                "operator",
+                ts=self.job.trace_ts(),
+                op=comb.describe(),
+            )
         source = self._exec(comb.input)
         bindings, extra = self._udf_bindings(comb.spec.free_vars())
         algebra = comb.spec.make_algebra(Env.of(bindings))
@@ -966,6 +1031,13 @@ class JobExecutor:
         self.job.charge_driver(
             self.engine.cost.cpu_seconds(len(partial_values))
         )
+        if span is not None:
+            tracer.end(
+                span,
+                end_ts=self.job.trace_ts(),
+                rows_in=source.count(),
+                partials=len(partial_values),
+            )
         return algebra.merge(partial_values)
 
     # -- dispatch table -------------------------------------------------------------------

@@ -315,6 +315,16 @@ class FaultInjector:
         task_seconds: float,
         attempts: int = 1,
     ) -> None:
+        tracer = engine.tracer
+        if tracer is not None:
+            tracer.event(
+                f"fault:{kind}",
+                ts=job.trace_ts(),
+                task=task,
+                partition=partition,
+                worker=worker,
+                attempts=attempts,
+            )
         if kind == CRASH:
             self._crash(
                 engine, job, task, partition, worker, task_seconds, attempts

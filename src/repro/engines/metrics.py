@@ -146,12 +146,22 @@ def _fmt_bytes(n: int) -> str:
 class JobRun:
     """Per-worker busy-time accounting for a single dataflow job."""
 
-    def __init__(self, num_workers: int, metrics: Metrics) -> None:
+    def __init__(
+        self,
+        num_workers: int,
+        metrics: Metrics,
+        start_ts: float = 0.0,
+    ) -> None:
         self.num_workers = num_workers
         self.metrics = metrics
         self.worker_seconds = [0.0] * num_workers
         self.driver_seconds = 0.0
         self.stages = 0
+        #: position of the job on the simulated clock (the engine's
+        #: ``metrics.simulated_seconds`` when the job was created)
+        self.start_ts = start_ts
+        #: the job's trace span when tracing is enabled
+        self.span = None
 
     def charge_worker(self, worker: int, seconds: float) -> None:
         """Add busy time to one worker (index wraps)."""
@@ -177,6 +187,19 @@ class JobRun:
     def total_seconds(self) -> float:
         """Sum of all busy time charged so far (recovery deltas)."""
         return sum(self.worker_seconds) + self.driver_seconds
+
+    def elapsed(self) -> float:
+        """The job's critical path so far: its simulated clock.
+
+        Monotone under every charge, so trace spans timestamped with it
+        nest correctly (a child opened later never starts earlier).
+        """
+        busy = max(self.worker_seconds) if self.worker_seconds else 0.0
+        return busy + self.driver_seconds
+
+    def trace_ts(self) -> float:
+        """Current absolute simulated time within this job."""
+        return self.start_ts + self.elapsed()
 
     def finish(self, fixed_overhead: float, stage_overhead: float) -> float:
         """Fold this job into the metrics; return the job's time."""

@@ -114,6 +114,15 @@ class DistributedStatefulBag:
     def update(self, u: Callable[[Any], Optional[Any]]) -> Any:
         """Point-wise update over all elements; returns the delta."""
         job = self.engine._new_job()
+        tracer = self.engine.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "StatefulUpdate",
+                "operator",
+                ts=job.trace_ts(),
+                keys=self.count(),
+            )
         self._update_seq += 1
         delta_parts: list[list[Any]] = []
         for i in range(len(self._partitions)):
@@ -137,6 +146,12 @@ class DistributedStatefulBag:
             job.charge_worker(worker, seconds)
             self._task_boundary(job, i, worker, seconds)
         self._maybe_checkpoint(job)
+        if span is not None:
+            tracer.end(
+                span,
+                end_ts=job.trace_ts(),
+                updated=sum(len(p) for p in delta_parts),
+            )
         self.engine._finish_job(job)
         return self._delta_handle(delta_parts)
 
@@ -155,6 +170,16 @@ class DistributedStatefulBag:
         mkey = message_key or _default_key
         message_bag = self._materialize_messages(messages)
         job = self.engine._new_job()
+        tracer = self.engine.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "StatefulUpdateWithMessages",
+                "operator",
+                ts=job.trace_ts(),
+                keys=self.count(),
+                messages=message_bag.count(),
+            )
         parallelism = len(self._partitions)
         # Shuffle messages to the state partitions (by state key).
         routed: list[list[Any]] = [[] for _ in range(parallelism)]
@@ -199,6 +224,12 @@ class DistributedStatefulBag:
             job.charge_worker(worker, seconds)
             self._task_boundary(job, i, worker, seconds)
         self._maybe_checkpoint(job)
+        if span is not None:
+            tracer.end(
+                span,
+                end_ts=job.trace_ts(),
+                updated=sum(len(p) for p in delta_parts),
+            )
         self.engine._finish_job(job)
         return self._delta_handle(delta_parts)
 
@@ -236,6 +267,14 @@ class DistributedStatefulBag:
         job.charge_spread(self.engine.cost.dfs_write_seconds(nbytes))
         self.engine.metrics.dfs_write_bytes += nbytes
         self.engine.metrics.checkpoints_written += 1
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.event(
+                "checkpoint",
+                ts=job.trace_ts(),
+                bytes=nbytes,
+                update_seq=self._update_seq,
+            )
 
     def on_worker_lost(self, worker: int, job: Any) -> None:
         """Restore the dead worker's state partitions.
@@ -273,6 +312,15 @@ class DistributedStatefulBag:
         metrics.dfs_read_bytes += restored_bytes
         metrics.checkpoint_restores += 1
         metrics.state_updates_replayed += replayed
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.event(
+                "recover:state-restore",
+                ts=job.trace_ts(),
+                partitions=len(lost),
+                replayed=replayed,
+                seconds=round(seconds, 9),
+            )
         metrics.recovery_seconds += seconds
 
     # -- helpers ---------------------------------------------------------------

@@ -1,0 +1,483 @@
+"""Structured tracing for the compiler pipeline and the simulated runtime.
+
+Two collectors, one module:
+
+* :class:`CompileTrace` — the compiler's provenance record.  Every pass
+  of :func:`repro.optimizer.pipeline.compile_program` (inlining,
+  caching, resugaring, normalization, fold-group fusion, the Figure 3a
+  lowering states, operator chaining, partition pulling) appends a
+  :class:`PassEvent` saying whether it fired, why (or why not), and the
+  IR term before/after.  ``explain(trace=True)`` renders the whole
+  record as a per-phase report — the answer to "why does my program
+  run as *this* plan?".
+* :class:`RuntimeTracer` — hierarchical spans over **simulated time**.
+  The engines emit ``run → job → operator/stage`` spans (operators nest
+  along the dataflow tree, since the executor recurses through its
+  inputs) carrying wall/compute seconds, rows and bytes out, shuffle
+  and broadcast volumes, plus point events for fault injections,
+  recoveries, and checkpoints attached to the span where they occurred.
+
+Span timestamps are *simulated seconds*, the engines' own clock: a
+job's position is the engine's ``metrics.simulated_seconds`` when it
+starts, and within a job the clock is the job's critical path
+(``max(worker_seconds) + driver_seconds``), which only grows — so spans
+nest correctly and a job's children always sum within its duration.
+Because each finished job adds exactly its span duration into
+``metrics.simulated_seconds``, the per-job wall times of a trace sum to
+the metrics total by construction.
+
+Exports: JSON lines (one span per line, depth-first), Chrome
+``chrome://tracing`` format (complete ``"X"`` events, microsecond
+units, one ``tid`` row per job), and an indented ASCII tree for docs
+and terminals.
+
+IR objects captured by :class:`PassEvent` are stored by reference and
+pretty-printed only at render time, so collecting a compile trace is
+O(passes) regardless of program size — cheap enough to be always on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+# ---------------------------------------------------------------------------
+# Compile-side provenance
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PassEvent:
+    """One compiler-pass decision: what fired (or did not), and on what.
+
+    ``before``/``after`` hold IR objects (driver programs, comprehension
+    expressions, combinator trees) or plain strings; rendering resolves
+    the right pretty-printer lazily.
+    """
+
+    phase: str
+    rule: str
+    fired: bool
+    detail: str = ""
+    site: int | None = None
+    before: Any = None
+    after: Any = None
+
+    def render(self, indent: str = "") -> str:
+        """One ``[fired]``/``[skip ]`` line plus lazy before/after IR."""
+        mark = "fired" if self.fired else "skip "
+        where = f" [site {self.site}]" if self.site is not None else ""
+        lines = [f"{indent}[{mark}] {self.rule}{where}: {self.detail}"]
+        for tag, obj in (("before", self.before), ("after", self.after)):
+            if obj is None:
+                continue
+            text = _render_ir(obj)
+            if "\n" in text:
+                body = "\n".join(
+                    f"{indent}    {line}" for line in text.splitlines()
+                )
+                lines.append(f"{indent}  {tag}:\n{body}")
+            else:
+                lines.append(f"{indent}  {tag}: {text}")
+        return "\n".join(lines)
+
+
+def _render_ir(obj: Any) -> str:
+    """Pretty-print an IR object with whichever printer fits it."""
+    if isinstance(obj, str):
+        return obj
+    from repro.lowering.combinators import Combinator, explain
+
+    if isinstance(obj, Combinator):
+        return explain(obj)
+    from repro.frontend.driver_ir import DriverProgram, pretty_program
+
+    if isinstance(obj, DriverProgram):
+        return pretty_program(obj)
+    from repro.comprehension.exprs import Expr
+    from repro.comprehension.pretty import pretty
+
+    if isinstance(obj, Expr):
+        return pretty(obj)
+    return repr(obj)
+
+
+class CompileTrace:
+    """The ordered record of every compiler-pass decision."""
+
+    def __init__(self) -> None:
+        self.events: list[PassEvent] = []
+
+    def record(
+        self,
+        phase: str,
+        rule: str,
+        fired: bool,
+        detail: str = "",
+        site: int | None = None,
+        before: Any = None,
+        after: Any = None,
+    ) -> None:
+        """Append one pass decision (IR objects stored by reference)."""
+        self.events.append(
+            PassEvent(
+                phase=phase,
+                rule=rule,
+                fired=fired,
+                detail=detail,
+                site=site,
+                before=before,
+                after=after,
+            )
+        )
+
+    def fired_rules(self) -> list[str]:
+        """Names of all rules that fired, in order, duplicates kept."""
+        return [e.rule for e in self.events if e.fired]
+
+    def for_phase(self, phase: str) -> list[PassEvent]:
+        """All events recorded under one compiler phase, in order."""
+        return [e for e in self.events if e.phase == phase]
+
+    def render(self) -> str:
+        """The per-phase provenance report, human-readable."""
+        lines = ["== compile provenance =="]
+        phases: list[str] = []
+        for event in self.events:
+            if event.phase not in phases:
+                phases.append(event.phase)
+        for phase in phases:
+            lines.append(f"phase {phase}:")
+            for event in self.for_phase(phase):
+                lines.append(event.render(indent="  "))
+        if not phases:
+            lines.append("(no passes recorded)")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+# ---------------------------------------------------------------------------
+# Runtime spans
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TraceEvent:
+    """A point event (fault, recovery, checkpoint) inside a span."""
+
+    name: str
+    ts: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class TraceSpan:
+    """One timed interval of simulated execution.
+
+    ``cat`` is the span family: ``"run"``, ``"job"``, ``"operator"``,
+    or ``"stage"`` (shuffles/broadcasts).  ``ts``/``dur`` are simulated
+    seconds; ``attrs`` carries per-span measurements (rows_out,
+    bytes_out, compute_seconds, shuffle_bytes, ...).
+    """
+
+    name: str
+    cat: str
+    ts: float
+    dur: float = 0.0
+    attrs: dict[str, Any] = field(default_factory=dict)
+    children: list["TraceSpan"] = field(default_factory=list)
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def walk(self) -> Iterator["TraceSpan"]:
+        """Depth-first over this span and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, cat: str) -> list["TraceSpan"]:
+        """All descendant spans (inclusive) of one category."""
+        return [s for s in self.walk() if s.cat == cat]
+
+    def to_dict(self) -> dict[str, Any]:
+        """A flat JSON-ready view of this span (children excluded)."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "cat": self.cat,
+            "ts": round(self.ts, 9),
+            "dur": round(self.dur, 9),
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.events:
+            out["events"] = [
+                {"name": e.name, "ts": round(e.ts, 9), **(
+                    {"attrs": dict(e.attrs)} if e.attrs else {}
+                )}
+                for e in self.events
+            ]
+        return out
+
+
+class RuntimeTracer:
+    """Collects a forest of :class:`TraceSpan` over simulated time.
+
+    The engines drive it with explicit timestamps read off their own
+    simulated clock; the tracer only maintains the open-span stack.
+    All hot-path call sites guard with ``if tracer is not None`` — a
+    disabled run pays one attribute load per operator, nothing more.
+    """
+
+    def __init__(self, engine: str = "engine") -> None:
+        self.engine = engine
+        self.roots: list[TraceSpan] = []
+        self._stack: list[TraceSpan] = []
+        self._job_seq = 0
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def begin(
+        self, name: str, cat: str, ts: float, **attrs: Any
+    ) -> TraceSpan:
+        """Open a span at simulated time ``ts`` under the current span."""
+        span = TraceSpan(name=name, cat=cat, ts=ts, attrs=dict(attrs))
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: TraceSpan, end_ts: float, **attrs: Any) -> None:
+        """Close a span, setting duration from its start timestamp.
+
+        Out-of-order ends (an inner span outliving a tool-managed
+        outer one) are tolerated: everything above ``span`` on the
+        stack is popped with it.
+        """
+        span.dur = max(0.0, end_ts - span.ts)
+        span.attrs.update(attrs)
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    def end_at_duration(
+        self, span: TraceSpan, dur: float, **attrs: Any
+    ) -> None:
+        """Close a span with an explicit duration (job accounting)."""
+        self.end(span, span.ts + dur, **attrs)
+
+    def event(self, name: str, ts: float, **attrs: Any) -> None:
+        """Attach a point event to the innermost open span."""
+        evt = TraceEvent(name=name, ts=ts, attrs=dict(attrs))
+        if self._stack:
+            self._stack[-1].events.append(evt)
+        elif self.roots:
+            self.roots[-1].events.append(evt)
+        else:
+            # No open span (direct engine use outside a run): keep the
+            # event as a zero-length root so nothing is lost.
+            self.roots.append(
+                TraceSpan(
+                    name=name, cat="event", ts=ts, events=[evt]
+                )
+            )
+
+    def next_job_index(self) -> int:
+        """The next sequential job number (0-based, per tracer)."""
+        self._job_seq += 1
+        return self._job_seq - 1
+
+    # -- queries -----------------------------------------------------------
+
+    def spans(self) -> Iterator[TraceSpan]:
+        """All spans in the forest, depth-first."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def job_spans(self) -> list[TraceSpan]:
+        """The per-job spans, in execution order."""
+        return [s for s in self.spans() if s.cat == "job"]
+
+    # -- exports -----------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per span (depth-first), parent-annotated."""
+        lines = []
+        for root in self.roots:
+            for span, depth, parent in _walk_with_parents(root):
+                record = span.to_dict()
+                record["depth"] = depth
+                if parent is not None:
+                    record["parent"] = parent.name
+                lines.append(json.dumps(record, default=str))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_chrome(self) -> dict[str, Any]:
+        """The Chrome ``chrome://tracing`` / Perfetto JSON document.
+
+        Complete (``ph: "X"``) events with microsecond timestamps; each
+        job gets its own ``tid`` row so nested jobs (a broadcast forcing
+        a thunk mid-job) do not overlap on one track.
+        """
+        trace_events: list[dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": f"repro:{self.engine}"},
+            }
+        ]
+        for root in self.roots:
+            self._chrome_walk(root, tid=0, out=trace_events)
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def _chrome_walk(
+        self, span: TraceSpan, tid: int, out: list[dict[str, Any]]
+    ) -> None:
+        if span.cat == "job":
+            tid = span.attrs.get("job_index", tid) + 1
+        out.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "ts": span.ts * 1e6,
+                "dur": span.dur * 1e6,
+                "args": {
+                    k: v
+                    for k, v in span.attrs.items()
+                    if isinstance(v, (int, float, str, bool))
+                },
+            }
+        )
+        for evt in span.events:
+            out.append(
+                {
+                    "name": evt.name,
+                    "cat": "event",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": evt.ts * 1e6,
+                    "args": {
+                        k: v
+                        for k, v in evt.attrs.items()
+                        if isinstance(v, (int, float, str, bool))
+                    },
+                }
+            )
+        for child in span.children:
+            self._chrome_walk(child, tid, out)
+
+    def write_jsonl(self, path: Any) -> None:
+        """Write the JSON-lines export to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+
+    def write_chrome(self, path: Any) -> None:
+        """Write the ``chrome://tracing`` document to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome(), fh, indent=1)
+
+    def render(self) -> str:
+        """All root spans as indented ASCII trees."""
+        return "\n".join(render_span_tree(root) for root in self.roots)
+
+
+def _walk_with_parents(
+    root: TraceSpan,
+    depth: int = 0,
+    parent: TraceSpan | None = None,
+) -> Iterator[tuple[TraceSpan, int, TraceSpan | None]]:
+    yield root, depth, parent
+    for child in root.children:
+        yield from _walk_with_parents(child, depth + 1, root)
+
+
+def render_span_tree(span: TraceSpan, indent: int = 0) -> str:
+    """An indented, human-readable view of one span tree."""
+    pad = "  " * indent
+    stats = _span_stats(span)
+    lines = [f"{pad}{span.name} [{span.cat}] {stats}"]
+    for evt in span.events:
+        extra = " ".join(f"{k}={v}" for k, v in evt.attrs.items())
+        lines.append(
+            f"{pad}  ! {evt.name} @{evt.ts:.4f}s"
+            + (f" {extra}" if extra else "")
+        )
+    for child in span.children:
+        lines.append(render_span_tree(child, indent + 1))
+    return "\n".join(lines)
+
+
+def _span_stats(span: TraceSpan) -> str:
+    parts = [f"t={span.ts:.4f}s", f"dur={span.dur:.4f}s"]
+    for key in (
+        "rows_out",
+        "bytes_out",
+        "compute_seconds",
+        "shuffle_bytes",
+        "broadcast_bytes",
+        "stages",
+        "records",
+        "keys",
+        "messages",
+        "updated",
+    ):
+        if key in span.attrs:
+            value = span.attrs[key]
+            if isinstance(value, float):
+                parts.append(f"{key}={value:.4f}")
+            else:
+                parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# The run-level result wrapper
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TracedRun:
+    """What ``Algorithm.run`` returns under ``EmmaConfig(tracing=True)``.
+
+    ``result`` is the program's ordinary return value; ``trace`` is the
+    run's root span; ``compile_trace`` the compiler provenance for the
+    configuration that ran; ``metrics`` the engine's live metrics
+    object.
+    """
+
+    result: Any
+    trace: TraceSpan
+    metrics: Any
+    compile_trace: CompileTrace | None = None
+    tracer: RuntimeTracer | None = None
+
+    def render(self) -> str:
+        """The runtime span tree, human-readable."""
+        return render_span_tree(self.trace)
+
+    def job_spans(self) -> list[TraceSpan]:
+        """The per-job spans under this run, in execution order."""
+        return self.trace.find("job")
+
+    def write_chrome(self, path: Any) -> None:
+        """Write the whole tracer's Chrome-format trace document."""
+        if self.tracer is None:
+            raise ValueError("run was traced without a tracer attached")
+        self.tracer.write_chrome(path)
+
+    def write_jsonl(self, path: Any) -> None:
+        """Write the whole tracer's JSON-lines export to ``path``."""
+        if self.tracer is None:
+            raise ValueError("run was traced without a tracer attached")
+        self.tracer.write_jsonl(path)

@@ -152,7 +152,7 @@ def build_report() -> str:
         " skewed groups in memory, the Flink-like engine exceeds the"
         " budget sorting and spilling them (the paper's 1-hour"
         " timeout).  With fusion, caching helps the Spark-like engine"
-        " (k-means lands at the paper's ~1.5x) and is a wash on the"
+        " (k-means lands near the paper's ~1.5x) and is a wash on the"
         " Flink-like engine (DFS-backed cache).",
         "",
         "Known divergence: the paper's Spark PageRank caching gain"
@@ -247,8 +247,16 @@ def build_report() -> str:
         " documented in each harness module.  The engines execute the"
         " real tuples — counts, bytes, skew, and partition layouts are"
         " measured, not assumed; only the *conversion to seconds* is"
-        " modelled.  All runs are deterministic (stable hashing, fixed"
-        " seeds)."
+        " modelled.  The executor runs fused operator chains: a maximal"
+        " run of narrow record-wise operators is one generated"
+        " per-partition kernel and pays *one* task-overhead charge, not"
+        " one per operator (`tasks_saved` in `Metrics` counts the"
+        " difference; `EmmaConfig(operator_chaining=False)` restores"
+        " per-operator execution).  All runs are deterministic (stable"
+        " hashing, fixed seeds), and every charge is auditable: run any"
+        " experiment with `EmmaConfig(tracing=True)` and the per-job"
+        " span durations sum exactly to the reported simulated seconds"
+        " (see `docs/observability.md`)."
     )
     return "\n\n".join(sections) + "\n"
 

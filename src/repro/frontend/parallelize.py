@@ -78,14 +78,18 @@ class Algorithm:
         self,
         config: "EmmaConfig | None" = None,
         comprehensions: bool = False,
+        trace: bool = False,
     ) -> str:
         """The compiled dataflow plans, human-readable.
 
         With ``comprehensions=True`` each site also shows its rewritten
-        comprehension view in Grust notation.
+        comprehension view in Grust notation.  With ``trace=True`` the
+        plans are followed by the compile-provenance report: every
+        optimizer/lowering pass that fired (or was skipped, and why),
+        with the IR before and after.
         """
         return self.compiled(config).explain(
-            comprehensions=comprehensions
+            comprehensions=comprehensions, trace=trace
         )
 
     def run(
@@ -118,9 +122,37 @@ class Algorithm:
         if config is not None and hasattr(engine, "apply_runtime_config"):
             engine.apply_runtime_config(config)
         compiled = self.compiled(config)
-        return run_compiled(
-            compiled, engine, self.lifted.captured, params
+        tracer = getattr(engine, "tracer", None)
+        if tracer is None:
+            return run_compiled(
+                compiled, engine, self.lifted.captured, params
+            )
+        run_span = tracer.begin(
+            f"run {self.name}",
+            "run",
+            ts=engine.metrics.simulated_seconds,
+            algorithm=self.name,
+            engine=engine.name,
         )
+        try:
+            result = run_compiled(
+                compiled, engine, self.lifted.captured, params
+            )
+        finally:
+            tracer.end(
+                run_span, end_ts=engine.metrics.simulated_seconds
+            )
+        if config is not None and config.tracing:
+            from repro.engines.tracing import TracedRun
+
+            return TracedRun(
+                result=result,
+                trace=run_span,
+                metrics=engine.metrics,
+                compile_trace=compiled.trace,
+                tracer=tracer,
+            )
+        return result
 
     def __repr__(self) -> str:
         return f"Algorithm({self.name}, params={self.params})"

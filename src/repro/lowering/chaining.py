@@ -29,6 +29,7 @@ from __future__ import annotations
 import dataclasses
 from collections import Counter
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.lowering.combinators import (
     CChain,
@@ -37,6 +38,9 @@ from repro.lowering.combinators import (
     CMap,
     Combinator,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engines.tracing import CompileTrace
 
 #: the narrow record-wise operators eligible for chaining
 CHAINABLE = (CMap, CFlatMap, CFilter)
@@ -65,8 +69,25 @@ def consumer_counts(root: Combinator) -> Counter:
     return counts
 
 
+def _boundary_reason(cur: Combinator, consumers: Counter) -> str:
+    """Why a chain run stopped growing at ``cur``."""
+    if not isinstance(cur, CHAINABLE):
+        return f"{cur.label()} is not record-wise"
+    if consumers[id(cur)] != 1:
+        return (
+            f"{cur.label()} feeds {consumers[id(cur)]} consumers "
+            "(fusing would duplicate its work)"
+        )
+    if cur.cache:
+        return f"{cur.label()} carries a cache annotation"
+    return f"{cur.label()} carries an enforced partitioning"
+
+
 def chain_operators(
-    root: Combinator, stats: ChainStats | None = None
+    root: Combinator,
+    stats: ChainStats | None = None,
+    trace: "CompileTrace | None" = None,
+    site: int | None = None,
 ) -> Combinator:
     """Rewrite ``root`` with maximal operator runs fused into chains."""
     stats = stats if stats is not None else ChainStats()
@@ -96,12 +117,37 @@ def chain_operators(
             if len(run) > 1:
                 stats.chains += 1
                 stats.chained_operators += len(run)
+                if trace is not None:
+                    trace.record(
+                        "operator chaining",
+                        "chain-fuse",
+                        True,
+                        detail=(
+                            " -> ".join(
+                                op.label() for op in reversed(run)
+                            )
+                            + " fused into one kernel; boundary: "
+                            + _boundary_reason(cur, consumers)
+                        ),
+                        site=site,
+                    )
                 return CChain(
                     cache=node.cache,
                     partition_hint=node.partition_hint,
                     ops=tuple(reversed(run)),
                     input=rebuild(cur),
                     shared=consumers[id(node)] > 1,
+                )
+            if trace is not None and isinstance(node.input, CHAINABLE):
+                trace.record(
+                    "operator chaining",
+                    "chain-fuse",
+                    False,
+                    detail=(
+                        f"{node.label()} not fused with its input; "
+                        + _boundary_reason(node.input, consumers)
+                    ),
+                    site=site,
                 )
         return _rebuild_children(node)
 

@@ -24,7 +24,10 @@ element is the pair ``(x, y)``, so ``x`` maps to ``elem[0]``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engines.tracing import CompileTrace
 
 from repro.comprehension.exprs import (
     AggByCall,
@@ -85,6 +88,31 @@ class LoweringContext:
 
     driver_vars: frozenset[str] = frozenset()
     push_filters: bool = True
+    #: compile-provenance collector (duck-typed to avoid an engines
+    #: import at module level); None = no recording
+    trace: "CompileTrace | None" = None
+    #: dataflow-site index stamped onto recorded events
+    site: int | None = None
+
+    def record(
+        self,
+        rule: str,
+        fired: bool,
+        detail: str,
+        before: Any = None,
+        after: Any = None,
+    ) -> None:
+        """Record one lowering-rule decision (no-op without a trace)."""
+        if self.trace is not None:
+            self.trace.record(
+                "lowering",
+                rule,
+                fired,
+                detail=detail,
+                site=self.site,
+                before=before,
+                after=after,
+            )
 
 
 @dataclass
@@ -184,6 +212,13 @@ def _lower_comprehension(
                 # that binds those variables, pairing each parent
                 # element with each generated value.
                 _absorb_dependent_generator(slots, q, dependent)
+                ctx.record(
+                    "flatmap-unnest",
+                    True,
+                    f"dependent generator {q.var!r} (ranging over "
+                    f"{sorted(dependent)}) realized as a flat-map",
+                    before=q.source,
+                )
             else:
                 slots.append(
                     _Slot(
@@ -207,6 +242,13 @@ def _lower_comprehension(
             slots, existentials, guards, ctx, exists_vars
         )
     else:
+        if guards:
+            ctx.record(
+                "filter-pushdown",
+                False,
+                "disabled by config; single-generator guards run as "
+                "residual filters above the joins",
+            )
         guards = _push_filters(
             [], existentials, guards, ctx, exists_vars
         )
@@ -218,12 +260,19 @@ def _lower_comprehension(
     guards = _apply_joins(slots, guards, ctx)
 
     # State 3: cross products for unconnected slots.
-    _apply_crosses(slots)
+    _apply_crosses(slots, ctx)
 
     (slot,) = slots
 
     # Residual guards (non-equi multi-variable predicates).
     for predicate in guards:
+        ctx.record(
+            "residual-filter",
+            True,
+            "guard is not a pushable/joinable equality; kept as a "
+            "filter above the joins",
+            before=predicate,
+        )
         slot.comb = CFilter(
             predicate=ScalarFn(
                 (slot.var,), predicate.substitute(slot.bindings)
@@ -322,6 +371,12 @@ def _push_filters(
                 source=_Prelowered(filtered),
                 mode=gen.mode,
             )
+            ctx.record(
+                "filter-pushdown",
+                True,
+                f"guard pushed onto existential generator {name!r}",
+                before=predicate,
+            )
             continue
         if names and not exists_names:
             owners = {id(slot_by_name[n]) for n in names}
@@ -333,6 +388,13 @@ def _push_filters(
                         predicate.substitute(slot.bindings),
                     ),
                     input=slot.comb,
+                )
+                ctx.record(
+                    "filter-pushdown",
+                    True,
+                    f"single-generator guard over {sorted(names)} "
+                    "pushed below the joins",
+                    before=predicate,
                 )
                 continue
         # Multi-slot predicates (join candidates) and driver-constant
@@ -404,6 +466,7 @@ def _apply_existentials(
                 if split is None:
                     continue
                 left_key, right_key = split
+                anti = gen.mode is GenMode.NOT_EXISTS
                 slot.comb = CSemiJoin(
                     kx=ScalarFn(
                         (slot.var,), left_key.substitute(slot.bindings)
@@ -411,7 +474,15 @@ def _apply_existentials(
                     ky=ScalarFn((gen.var,), right_key),
                     left=slot.comb,
                     right=_existential_source(gen, ctx),
-                    anti=gen.mode is GenMode.NOT_EXISTS,
+                    anti=anti,
+                )
+                ctx.record(
+                    "anti-join" if anti else "semi-join",
+                    True,
+                    f"{'NOT_EXISTS' if anti else 'EXISTS'} generator "
+                    f"{gen.var!r} + equi-guard realized as a "
+                    f"{'anti' if anti else 'semi'}-join",
+                    before=predicate,
                 )
                 guards.remove(predicate)
                 matched = True
@@ -439,6 +510,14 @@ def _apply_joins(
                 continue
             a, b, left_key, right_key = pair
             joined = _join_slots(a, b, left_key, right_key)
+            ctx.record(
+                "equi-join",
+                True,
+                f"equality guard joins generators "
+                f"{sorted(a.bindings)} and {sorted(b.bindings)}",
+                before=predicate,
+                after=joined.comb,
+            )
             slots.remove(a)
             slots.remove(b)
             slots.append(joined)
@@ -477,10 +556,18 @@ def _join_slots(
     return _Slot(comb=comb, var=var, bindings=_pair_bindings(a, b, var))
 
 
-def _apply_crosses(slots: list[_Slot]) -> None:
+def _apply_crosses(
+    slots: list[_Slot], ctx: LoweringContext
+) -> None:
     while len(slots) > 1:
         a = slots.pop(0)
         b = slots.pop(0)
+        ctx.record(
+            "cross",
+            True,
+            f"no connecting guard between {sorted(a.bindings)} and "
+            f"{sorted(b.bindings)}; combined via cartesian product",
+        )
         var = fresh_name(
             "_c", frozenset(a.bindings) | frozenset(b.bindings)
         )

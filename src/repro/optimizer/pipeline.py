@@ -43,6 +43,7 @@ from repro.comprehension.normalize import NormalizeStats, normalize
 from repro.comprehension.resugar import resugar
 from repro.engines.faults import FaultPlan, RetryPolicy
 from repro.engines.sizes import estimate_bag_bytes
+from repro.engines.tracing import CompileTrace
 from repro.errors import EmmaError
 from repro.frontend.driver_ir import (
     DriverProgram,
@@ -98,6 +99,10 @@ class EmmaConfig:
     retry_policy: RetryPolicy | None = None
     #: stateful-bag checkpoint cadence (0 = initial snapshot only)
     checkpoint_interval: int = 0
+    #: collect hierarchical runtime spans (:mod:`repro.engines.tracing`);
+    #: ``Algorithm.run`` then returns a :class:`~repro.engines.tracing.
+    #: TracedRun` instead of the bare result
+    tracing: bool = False
 
     @staticmethod
     def none() -> "EmmaConfig":
@@ -240,14 +245,21 @@ class CompiledProgram:
     sites: list[tuple[Expr, Combinator, bool]] = field(
         default_factory=list
     )
+    #: per-pass provenance (always collected; rendering is lazy)
+    trace: CompileTrace | None = None
 
-    def explain(self, comprehensions: bool = False) -> str:
+    def explain(
+        self, comprehensions: bool = False, trace: bool = False
+    ) -> str:
         """All compiled dataflow plans, one indented tree per site.
 
         With ``comprehensions=True``, each site is prefixed by its
         rewritten comprehension view in Grust notation — the paper's
         intermediate representation, as the compiler saw it after
-        normalization and fold-group fusion.
+        normalization and fold-group fusion.  With ``trace=True``, the
+        plans are followed by the compile-provenance report: every pass
+        that fired (or was skipped, and why), with the IR term before
+        and after.
         """
         from repro.comprehension.pretty import pretty
 
@@ -259,6 +271,8 @@ class CompiledProgram:
                 lines.append(f"view: {pretty(expr)}")
             lines.append(explain(plan))
             blocks.append("\n".join(lines))
+        if trace and self.trace is not None:
+            blocks.append(self.trace.render())
         return "\n".join(blocks)
 
 
@@ -266,10 +280,14 @@ class _SiteCompiler:
     """Compiles driver expressions, replacing dataflow sites in place."""
 
     def __init__(
-        self, config: EmmaConfig, report: OptimizationReport
+        self,
+        config: EmmaConfig,
+        report: OptimizationReport,
+        trace: CompileTrace | None = None,
     ) -> None:
         self.config = config
         self.report = report
+        self.trace = trace
         self.bag_names: set[str] = set()
         self.stateful_names: set[str] = set()
         self.partition_uses: list[PartitionUse] = []
@@ -279,21 +297,81 @@ class _SiteCompiler:
     # -- site pipeline ------------------------------------------------------
 
     def compile_site(self, expr: Expr) -> Combinator:
+        site = self.report.dataflow_sites
+        trace = self.trace
         norm_stats = NormalizeStats()
         rewritten = resugar(expr)
-        rewritten = normalize(
+        if trace is not None:
+            trace.record(
+                "site compilation",
+                "resugar",
+                True,
+                detail="MC⁻¹ recovered the comprehension view",
+                site=site,
+                before=expr,
+                after=rewritten,
+            )
+        normalized = normalize(
             rewritten,
             unnest_exists=self.config.unnesting,
             stats=norm_stats,
         )
+        if trace is not None:
+            total = (
+                norm_stats.exists_unnests
+                + norm_stats.generator_unnests
+                + norm_stats.head_unnests
+            )
+            detail = (
+                f"exists={norm_stats.exists_unnests} "
+                f"generator={norm_stats.generator_unnests} "
+                f"head={norm_stats.head_unnests} unnests"
+            )
+            if not self.config.unnesting:
+                detail += " (exists-unnesting disabled by config)"
+            trace.record(
+                "site compilation",
+                "normalize",
+                total > 0,
+                detail=detail,
+                site=site,
+                before=rewritten if total else None,
+                after=normalized if total else None,
+            )
+        rewritten = normalized
         self.report.exists_unnests += norm_stats.exists_unnests
         self.report.generator_unnests += norm_stats.generator_unnests
         self.report.head_unnests += norm_stats.head_unnests
         if self.config.fold_group_fusion:
             fusion = FusionStats()
-            rewritten = fold_group_fusion(rewritten, fusion)
+            fused = fold_group_fusion(rewritten, fusion)
+            if trace is not None:
+                fired = fusion.fused_groups > 0
+                trace.record(
+                    "site compilation",
+                    "fold-group-fusion",
+                    fired,
+                    detail=(
+                        f"{fusion.fused_groups} group(s) with "
+                        f"{fusion.fused_folds} fold(s) fused into agg_by"
+                        if fired
+                        else "no group consumed exclusively by folds"
+                    ),
+                    site=site,
+                    before=rewritten if fired else None,
+                    after=fused if fired else None,
+                )
+            rewritten = fused
             self.report.fused_groups += fusion.fused_groups
             self.report.fused_folds += fusion.fused_folds
+        elif trace is not None:
+            trace.record(
+                "site compilation",
+                "fold-group-fusion",
+                False,
+                detail="disabled by config",
+                site=site,
+            )
         self.partition_uses.extend(
             collect_partition_uses(rewritten, self._in_loop)
         )
@@ -302,14 +380,47 @@ class _SiteCompiler:
             LoweringContext(
                 driver_vars=frozenset(self.bag_names),
                 push_filters=self.config.filter_pushdown,
+                trace=trace,
+                site=site,
             ),
         )
+        if trace is not None:
+            trace.record(
+                "site compilation",
+                "lower",
+                True,
+                detail="comprehension realized as a combinator dataflow",
+                site=site,
+                after=plan,
+            )
         if self.config.operator_chaining:
             chain_stats = ChainStats()
-            plan = chain_operators(plan, chain_stats)
+            before_events = len(trace) if trace is not None else 0
+            plan = chain_operators(
+                plan, chain_stats, trace=trace, site=site
+            )
             self.report.operator_chains += chain_stats.chains
             self.report.chained_operators += (
                 chain_stats.chained_operators
+            )
+            if trace is not None and len(trace) == before_events:
+                trace.record(
+                    "operator chaining",
+                    "chain-fuse",
+                    False,
+                    detail=(
+                        "no run of two or more adjacent record-wise "
+                        "operators in this plan"
+                    ),
+                    site=site,
+                )
+        elif trace is not None:
+            trace.record(
+                "operator chaining",
+                "chain-fuse",
+                False,
+                detail="disabled by config",
+                site=site,
             )
         self.report.dataflow_sites += 1
         self.sites.append((rewritten, plan, self._in_loop))
@@ -413,20 +524,61 @@ def compile_program(
     """Run the full pipeline; see the module docstring."""
     config = config or EmmaConfig()
     report = OptimizationReport(config=config)
+    trace = CompileTrace()
 
     # 1. Inlining.
     if config.inlining:
+        before_program = program
         program, inlined = inline_single_use(program)
         report.inlined_definitions = inlined
+        trace.record(
+            "inlining",
+            "inline-single-use",
+            inlined > 0,
+            detail=(
+                f"{inlined} single-use definition(s) spliced into "
+                "their consumers"
+                if inlined
+                else "no single-use bag definitions"
+            ),
+            before=before_program if inlined else None,
+            after=program if inlined else None,
+        )
+    else:
+        trace.record(
+            "inlining",
+            "inline-single-use",
+            False,
+            detail="disabled by config",
+        )
 
     # 2. Caching analysis (before sites are replaced by plans).
     if config.caching:
         decisions = plan_caching(program)
         report.cache_decisions = decisions
+        if decisions:
+            for d in decisions:
+                trace.record(
+                    "caching",
+                    "cache-insert",
+                    True,
+                    detail=f"{d.name}: {d.reason}",
+                )
+        else:
+            trace.record(
+                "caching",
+                "cache-insert",
+                False,
+                detail="no loop-invariant multi-use bags",
+            )
         program = insert_cache_statements(program, decisions)
+    else:
+        trace.record(
+            "caching", "cache-insert", False, detail="disabled by config"
+        )
 
     # 3. Per-site compilation.
-    compiler = _SiteCompiler(config, report)
+    compiler = _SiteCompiler(config, report, trace=trace)
     compiler.bag_names |= set(program.bag_params)
     compiled_body = compiler.compile_block(program.body)
     compiled = program.with_body(compiled_body)
@@ -439,10 +591,43 @@ def compile_program(
             compiler.partition_uses, cached
         )
         report.partition_keys = partition_keys
+        if partition_keys:
+            for name, key in partition_keys.items():
+                trace.record(
+                    "partition pulling",
+                    "partition-key",
+                    True,
+                    detail=(
+                        f"{name} hash-partitioned on "
+                        f"{key.describe()} at its cache site"
+                    ),
+                )
+        else:
+            trace.record(
+                "partition pulling",
+                "partition-key",
+                False,
+                detail="no join/group key observed over cached names",
+            )
+    elif config.partition_pulling:
+        trace.record(
+            "partition pulling",
+            "partition-key",
+            False,
+            detail="nothing cached to pre-partition",
+        )
+    else:
+        trace.record(
+            "partition pulling",
+            "partition-key",
+            False,
+            detail="disabled by config",
+        )
 
     return CompiledProgram(
         program=compiled,
         partition_keys=partition_keys,
         report=report,
         sites=compiler.sites,
+        trace=trace,
     )

@@ -1,0 +1,228 @@
+"""Unit tests for the runtime tracing layer (:mod:`repro.engines.tracing`).
+
+The load-bearing properties: tracing is off by default and costs one
+attribute load when off; a traced run returns an identical result; the
+per-job span durations sum *exactly* to ``metrics.simulated_seconds``
+(the trace is the cost model, not a sample of it); fault and recovery
+events land on the span where they occurred; and both export formats
+(JSON lines, ``chrome://tracing``) round-trip through ``json``.
+"""
+
+import json
+
+from repro.comprehension.exprs import (
+    BinOp,
+    Compare,
+    Const,
+    FilterCall,
+    Lambda,
+    MapCall,
+    Ref,
+)
+from repro.comprehension.normalize import normalize
+from repro.comprehension.resugar import resugar
+from repro.core.databag import DataBag
+from repro.engines.cluster import ClusterConfig
+from repro.engines.dfs import SimulatedDFS
+from repro.engines.faults import CRASH, FaultEvent, FaultPlan
+from repro.engines.flinklike import FlinkLikeEngine
+from repro.engines.sparklike import SparkLikeEngine
+from repro.engines.tracing import (
+    RuntimeTracer,
+    TracedRun,
+    TraceSpan,
+    render_span_tree,
+)
+from repro.lowering.rules import lower
+from repro.optimizer.pipeline import EmmaConfig
+from repro.workloads.graphs import stage_follower_graph
+from repro.workloads.pagerank import pagerank
+
+
+def _plan_add_one():
+    expr = MapCall(
+        FilterCall(
+            Ref("xs"),
+            Lambda(("x",), Compare(">", Ref("x"), Const(-1))),
+        ),
+        Lambda(("x",), BinOp("+", Ref("x"), Const(1))),
+    )
+    return lower(normalize(resugar(expr)))
+
+
+def _run_plan(engine, n=40):
+    env = {"xs": DataBag(list(range(n)))}
+    return sorted(engine.collect(engine.defer(_plan_add_one(), env)))
+
+
+def _traced_pagerank(num_vertices=60, iterations=3):
+    dfs = SimulatedDFS()
+    engine = SparkLikeEngine(dfs=dfs)
+    path = stage_follower_graph(dfs, num_vertices=num_vertices, seed=7)
+    traced = pagerank.run(
+        engine,
+        config=EmmaConfig(tracing=True),
+        graph_path=path,
+        num_pages=num_vertices,
+        max_iterations=iterations,
+    )
+    return engine, traced
+
+
+class TestTracerBasics:
+    def test_disabled_by_default(self):
+        engine = SparkLikeEngine()
+        assert engine.tracer is None
+        assert _run_plan(engine) == list(range(1, 41))
+
+    def test_enable_tracing_is_idempotent(self):
+        engine = SparkLikeEngine()
+        tracer = engine.enable_tracing()
+        assert engine.enable_tracing() is tracer
+        engine.disable_tracing()
+        assert engine.tracer is None
+
+    def test_config_flag_installs_tracer(self):
+        engine = SparkLikeEngine()
+        engine.apply_runtime_config(EmmaConfig(tracing=True))
+        assert isinstance(engine.tracer, RuntimeTracer)
+
+    def test_traced_run_matches_untraced(self):
+        plain = SparkLikeEngine()
+        traced = SparkLikeEngine()
+        traced.enable_tracing()
+        assert _run_plan(plain) == _run_plan(traced)
+        assert (
+            plain.metrics.simulated_seconds
+            == traced.metrics.simulated_seconds
+        )
+
+    def test_operator_spans_carry_row_and_byte_counts(self):
+        engine = SparkLikeEngine()
+        tracer = engine.enable_tracing()
+        _run_plan(engine)
+        ops = [s for s in tracer.spans() if s.cat == "operator"]
+        assert ops, "no operator spans collected"
+        for span in ops:
+            assert span.attrs["rows_out"] >= 0
+            assert span.attrs["bytes_out"] >= 0
+            assert span.attrs["compute_seconds"] >= 0
+
+
+class TestJobSpanInvariant:
+    def test_job_durations_sum_to_metrics_total(self):
+        engine, traced = _traced_pagerank()
+        total = sum(job.dur for job in traced.job_spans())
+        assert abs(total - engine.metrics.simulated_seconds) < 1e-9
+
+    def test_invariant_holds_on_flink_like(self):
+        engine = FlinkLikeEngine(cluster=ClusterConfig(num_workers=4))
+        tracer = engine.enable_tracing()
+        _run_plan(engine, n=80)
+        total = sum(job.dur for job in tracer.job_spans())
+        assert abs(total - engine.metrics.simulated_seconds) < 1e-9
+
+    def test_spans_nest_within_their_job(self):
+        engine, traced = _traced_pagerank()
+        for job in traced.job_spans():
+            end = job.ts + job.dur
+            for child in job.walk():
+                assert child.ts >= job.ts - 1e-9
+                assert child.ts + child.dur <= end + 1e-9
+
+    def test_traced_run_shape(self):
+        engine, traced = _traced_pagerank(num_vertices=40, iterations=2)
+        assert isinstance(traced, TracedRun)
+        assert traced.trace.cat == "run"
+        assert traced.compile_trace is not None
+        assert traced.metrics is engine.metrics
+        ranks = {r.id for r in traced.result}
+        assert ranks == set(range(40))
+
+
+class TestRuntimeEvents:
+    def test_fault_events_attach_to_spans(self):
+        engine = SparkLikeEngine(
+            cluster=ClusterConfig(num_workers=4),
+            fault_plan=FaultPlan(
+                events=(FaultEvent(CRASH, task=2),)
+            ),
+        )
+        tracer = engine.enable_tracing()
+        _run_plan(engine)
+        events = [
+            e for s in tracer.spans() for e in s.events
+        ]
+        crash = [e for e in events if e.name == "fault:crash"]
+        assert crash and crash[0].attrs["task"] == 2
+        assert engine.metrics.tasks_retried >= 1
+
+    def test_shuffle_and_broadcast_spans_on_pagerank(self):
+        engine, traced = _traced_pagerank()
+        stages = [
+            s for s in traced.trace.walk() if s.cat == "stage"
+        ]
+        names = {s.name for s in stages}
+        assert "Shuffle" in names
+        assert "Broadcast" in names
+        shuffle = next(s for s in stages if s.name == "Shuffle")
+        assert shuffle.attrs["shuffle_bytes"] > 0
+
+    def test_stateful_update_spans(self):
+        engine, traced = _traced_pagerank()
+        updates = [
+            s
+            for s in traced.trace.walk()
+            if s.name == "StatefulUpdateWithMessages"
+        ]
+        assert len(updates) == 3  # one per iteration
+        for span in updates:
+            assert span.attrs["keys"] == 60
+            assert span.attrs["updated"] >= 0
+
+
+class TestExports:
+    def test_jsonl_round_trips(self):
+        engine, traced = _traced_pagerank(num_vertices=40, iterations=2)
+        lines = traced.tracer.to_jsonl().splitlines()
+        rows = [json.loads(line) for line in lines]
+        assert rows, "empty jsonl export"
+        roots = [r for r in rows if r["depth"] == 0]
+        assert roots[0]["name"] == "run pagerank"
+        assert all("dur" in r and "ts" in r for r in rows)
+
+    def test_chrome_document_is_well_formed(self):
+        engine, traced = _traced_pagerank(num_vertices=40, iterations=2)
+        doc = traced.tracer.to_chrome()
+        json.dumps(doc)  # must serialize
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete
+        for e in complete:
+            assert e["ts"] >= 0 and e["dur"] >= 0
+            assert e["pid"] == 1
+        # One metadata event names the process.
+        assert any(e["ph"] == "M" for e in events)
+        # Jobs get distinct tids so nested jobs never overlap.
+        job_tids = {
+            e["tid"] for e in complete if e["cat"] == "job"
+        }
+        assert len(job_tids) == len(traced.job_spans())
+
+    def test_write_helpers(self, tmp_path):
+        engine, traced = _traced_pagerank(num_vertices=40, iterations=2)
+        chrome = tmp_path / "t.json"
+        jsonl = tmp_path / "t.jsonl"
+        traced.write_chrome(chrome)
+        traced.write_jsonl(jsonl)
+        assert json.loads(chrome.read_text())["traceEvents"]
+        assert jsonl.read_text().strip()
+
+    def test_render_span_tree(self):
+        span = TraceSpan(name="job 0", cat="job", ts=0.0, dur=1.0)
+        span.children.append(
+            TraceSpan(name="Map", cat="operator", ts=0.1, dur=0.5)
+        )
+        text = render_span_tree(span)
+        assert "job 0 [job]" in text
+        assert "  Map [operator]" in text

@@ -1,0 +1,121 @@
+"""Unit tests for compile provenance (:class:`CompileTrace`).
+
+``explain(trace=True)`` must name every optimizer/lowering pass that
+fired on PageRank — inlining, caching, resugaring, fold-group fusion,
+flat-map unnesting, the equi-join rewrite — with before/after IR, and
+must say *why* a pass was skipped when the configuration disables it.
+"""
+
+from repro.engines.tracing import CompileTrace
+from repro.optimizer.pipeline import EmmaConfig
+from repro.workloads.pagerank import pagerank
+from repro.workloads.tpch import tpch_q4
+
+
+class TestPageRankProvenance:
+    def test_trace_attached_to_compiled_program(self):
+        compiled = pagerank.compiled()
+        assert isinstance(compiled.trace, CompileTrace)
+        assert len(compiled.trace) > 0
+
+    def test_fired_rules_cover_the_pipeline(self):
+        fired = set(pagerank.compiled().trace.fired_rules())
+        assert {
+            "inline-single-use",
+            "cache-insert",
+            "resugar",
+            "normalize",
+            "fold-group-fusion",
+            "flatmap-unnest",
+            "equi-join",
+            "lower",
+        } <= fired
+
+    def test_explain_trace_renders_report(self):
+        text = pagerank.explain(trace=True)
+        assert "== compile provenance ==" in text
+        for rule in (
+            "inline-single-use",
+            "cache-insert",
+            "fold-group-fusion",
+            "equi-join",
+            "flatmap-unnest",
+            "chain-fuse",
+        ):
+            assert rule in text, f"missing {rule} in provenance"
+        assert "[fired]" in text and "[skip ]" in text
+        assert "before:" in text and "after:" in text
+        # The equi-join record shows the lowered combinator subtree.
+        assert "EqJoin" in text
+
+    def test_explain_without_trace_omits_report(self):
+        assert "compile provenance" not in pagerank.explain()
+
+    def test_events_carry_phase_and_site(self):
+        trace = pagerank.compiled().trace
+        phases = {e.phase for e in trace.events}
+        assert {
+            "inlining",
+            "caching",
+            "site compilation",
+            "lowering",
+            "operator chaining",
+        } <= phases
+        lowering = trace.for_phase("lowering")
+        assert lowering and all(
+            e.site is not None for e in lowering
+        )
+
+
+class TestDisabledConfigs:
+    def test_none_config_records_skips_with_reasons(self):
+        text = pagerank.explain(EmmaConfig.none(), trace=True)
+        assert text.count("disabled by config") >= 4
+        trace = pagerank.compiled(EmmaConfig.none()).trace
+        # .none() keeps inlining on (a preprocessing step, not a
+        # Table 1 row); every other pass must record a skip.
+        skipped = {e.rule for e in trace.events if not e.fired}
+        assert {
+            "cache-insert",
+            "fold-group-fusion",
+            "chain-fuse",
+        } <= skipped
+
+    def test_chaining_skip_reason_when_nothing_fuses(self):
+        trace = pagerank.compiled().trace
+        chain = trace.for_phase("operator chaining")
+        assert chain
+        assert all(not e.fired for e in chain)
+        assert any("record-wise" in e.detail for e in chain)
+
+
+class TestSemiAntiJoinProvenance:
+    def test_q4_records_semi_join(self):
+        # TPC-H Q4's EXISTS subquery lowers to a semi-join.
+        fired = set(tpch_q4.compiled().trace.fired_rules())
+        assert "semi-join" in fired
+
+    def test_render_groups_by_phase(self):
+        text = tpch_q4.compiled().trace.render()
+        assert text.startswith("== compile provenance ==")
+        assert "phase lowering:" in text
+
+
+class TestCompileTraceUnit:
+    def test_record_and_render_empty(self):
+        trace = CompileTrace()
+        assert "(no passes recorded)" in trace.render()
+
+    def test_render_lazy_ir(self):
+        trace = CompileTrace()
+        trace.record(
+            "lowering",
+            "demo",
+            True,
+            detail="x",
+            site=1,
+            before="plain text",
+        )
+        out = trace.render()
+        assert "[fired] demo [site 1]: x" in out
+        assert "before: plain text" in out

@@ -1,14 +1,21 @@
 """Documentation quality gates.
 
 Every public module, class, and function in the library must carry a
-docstring, and the repository-level documents must exist and reference
-real artifacts.  These are cheap executable checks that keep the
-"documented public API" deliverable true as the code evolves.
+docstring, the repository-level documents must exist and reference
+real artifacts, and every ``python`` snippet in README.md and
+docs/observability.md must actually execute — the snippets of a doc
+are concatenated in order into one script (later blocks may reuse
+earlier definitions) and run as a subprocess, because ``@parallelize``
+lifts from real source files.
 """
 
 import importlib
 import inspect
+import os
 import pkgutil
+import re
+import subprocess
+import sys
 from pathlib import Path
 
 import pytest
@@ -104,6 +111,11 @@ class TestRepositoryDocuments:
         assert "pytest tests/" in readme
         assert "pytest benchmarks/ --benchmark-only" in readme
 
+    def test_readme_links_observability_doc(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "docs/observability.md" in readme
+        assert (REPO_ROOT / "docs" / "observability.md").exists()
+
     def test_benchmarks_cover_every_paper_artifact(self):
         bench_dir = REPO_ROOT / "benchmarks"
         names = {p.name for p in bench_dir.glob("test_*.py")}
@@ -112,3 +124,41 @@ class TestRepositoryDocuments:
         assert "test_figure5_group_fusion.py" in names
         assert "test_sec52_iterative.py" in names
         assert "test_sec52_tpch.py" in names
+
+
+# ---------------------------------------------------------------------------
+# Executable snippets
+# ---------------------------------------------------------------------------
+
+SNIPPET_DOCS = ("README.md", "docs/observability.md")
+
+
+def _python_blocks(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)\n```", text, flags=re.S)
+
+
+@pytest.mark.parametrize("doc", SNIPPET_DOCS)
+def test_doc_python_snippets_execute(doc, tmp_path):
+    text = (REPO_ROOT / doc).read_text()
+    blocks = _python_blocks(text)
+    assert blocks, f"{doc} has no ```python snippets"
+    script = tmp_path / "snippets.py"
+    script.write_text("\n\n".join(blocks) + "\n")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p
+        for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH"))
+        if p
+    )
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert proc.returncode == 0, (
+        f"{doc} snippets failed:\n{proc.stdout[-2000:]}\n"
+        f"{proc.stderr[-2000:]}"
+    )

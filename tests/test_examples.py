@@ -19,6 +19,7 @@ EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
 def test_examples_exist():
     assert len(EXAMPLES) >= 3
     assert "quickstart.py" in EXAMPLES
+    assert "tracing_walkthrough.py" in EXAMPLES
 
 
 @pytest.mark.parametrize("name", EXAMPLES)
