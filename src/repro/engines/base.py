@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.core.databag import DataBag
 from repro.engines.cluster import ClusterConfig, PartitionedBag
-from repro.engines.costmodel import CostModel
+from repro.engines.costmodel import CostModel, StatsCache
 from repro.engines.dfs import SimulatedDFS
 from repro.engines.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.engines.metrics import JobRun, Metrics
@@ -166,6 +166,11 @@ class Engine:
     group_spill_to_disk = False
     #: max estimated bytes of a build side for broadcast join strategy
     broadcast_join_threshold = 4 * 1024 * 1024
+    #: partitioning-aware physical planning at runtime: cost-based join
+    #: strategy choice on annotated plans, loop-invariant shuffle
+    #: hoisting, and partitioner propagation through maps (toggled per
+    #: run by ``EmmaConfig.physical_planning``)
+    physical_planning = True
 
     def __init__(
         self,
@@ -198,6 +203,12 @@ class Engine:
             weakref.WeakSet()
         )
         self._stateful_bags: "weakref.WeakSet[Any]" = weakref.WeakSet()
+        #: per-run hoist cache for loop-invariant shuffled inputs,
+        #: keyed by (node id, canonical key, parallelism, input handle
+        #: identities); cleared by :meth:`begin_run` and on worker loss
+        self._hoist_cache: dict[tuple, PartitionedBag] = {}
+        #: per-run observed cardinalities/bytes for adaptive re-checks
+        self.stats = StatsCache()
 
     # -- fault configuration ----------------------------------------------
 
@@ -229,6 +240,17 @@ class Engine:
             self.checkpoint_interval = config.checkpoint_interval
         if config.tracing:
             self.enable_tracing()
+        self.physical_planning = config.physical_planning
+
+    def begin_run(self) -> None:
+        """Reset per-run planner state (hoist cache, statistics).
+
+        Called at the start of every compiled driver-program run so
+        runs are deterministic in isolation: nothing hoisted or
+        observed in an earlier run leaks into the next one.
+        """
+        self._hoist_cache.clear()
+        self.stats.clear()
 
     def enable_tracing(self) -> RuntimeTracer:
         """Install (idempotently) and return the engine's span tracer."""
@@ -249,6 +271,10 @@ class Engine:
         cache read), and stateful bags restore their lost partitions
         from the last checkpoint plus the update log immediately."""
         num_workers = self.cluster.num_workers
+        # Hoisted shuffled inputs live in worker memory without
+        # tombstone bookkeeping: drop them all and let the next
+        # iteration recompute (and re-hoist) from the cached sources.
+        self._hoist_cache.clear()
         for handle in list(self._cached_handles):
             handle.mark_lost(worker, num_workers)
         for bag in list(self._stateful_bags):

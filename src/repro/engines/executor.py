@@ -17,11 +17,20 @@ and ``broadcast_join_threshold``.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from collections import Counter
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.comprehension.exprs import Env
+from repro.comprehension.exprs import (
+    Attr,
+    Call,
+    Const,
+    Env,
+    Index,
+    Ref,
+    TupleExpr,
+)
 from repro.core.databag import DataBag
 from repro.core.grp import Grp
 from repro.engines.chainkernel import (
@@ -37,6 +46,7 @@ from repro.engines.cluster import (
     Partitioner,
     hash_partition_index,
 )
+from repro.engines.costmodel import JoinObservation
 from repro.engines.metrics import JobRun
 from repro.engines.sizes import estimate_bag_bytes, estimate_record_bytes
 from repro.errors import EngineError, SimulatedMemoryError
@@ -281,7 +291,73 @@ class JobExecutor:
             out.append([fn(x) for x in p])
             self._charge_cpu(i, len(p) * (1 + extra) + self._record_ops(p))
         self.engine.metrics.udf_invocations += source.count()
-        return PartitionedBag(out)
+        return PartitionedBag(
+            out, self._map_output_partitioner(comb, source)
+        )
+
+    def _map_output_partitioner(
+        self, comb: CMap, source: PartitionedBag
+    ) -> Partitioner | None:
+        """The map output's partitioner, when the key provably survives.
+
+        A map over a hash-partitioned bag keeps records in place, so if
+        the map body carries the partition-key expression through to a
+        field of its output — the common reshaping pattern ``x ->
+        Record(x.key, ...)`` or ``x -> (x.key, ...)`` — the output is
+        hash-partitioned on that field/position.  Matched structurally:
+        one constructor argument of a plain dataclass call (no
+        ``__post_init__``) or one tuple component must equal the
+        partition-key body applied to the map's parameter.
+        """
+        if not self.engine.physical_planning:
+            return None
+        partitioner = source.partitioner
+        if partitioner is None or len(partitioner.key.params) != 1:
+            return None
+        if len(comb.fn.params) != 1:
+            return None
+        key = partitioner.key
+        param = comb.fn.params[0]
+        key_body = key.body.substitute({key.params[0]: Ref(param)})
+        body = comb.fn.body
+        # Map each carried-through input expression to where it lands
+        # in the output record, then re-express the key through it.
+        mapping: dict[Any, Any] = {}
+        if isinstance(body, Call) and isinstance(body.func, Ref):
+            ctor = self.env.get(body.func.name)
+            if not (
+                isinstance(ctor, type)
+                and dataclasses.is_dataclass(ctor)
+                and not hasattr(ctor, "__post_init__")
+            ):
+                return None
+            flds = dataclasses.fields(ctor)
+            for pos, arg in enumerate(body.args):
+                if pos < len(flds):
+                    mapping[arg] = Attr(Ref("_r"), flds[pos].name)
+            field_names = {f.name for f in flds}
+            for kw_name, arg in body.kwargs:
+                if kw_name in field_names:
+                    mapping[arg] = Attr(Ref("_r"), kw_name)
+        elif isinstance(body, TupleExpr):
+            for pos, item in enumerate(body.items):
+                mapping[item] = Index(Ref("_r"), Const(pos))
+        else:
+            return None
+
+        def rewrite(expr):
+            repl = mapping.get(expr)
+            if repl is not None:
+                return repl
+            return expr.rebuild(rewrite)
+
+        out_body = rewrite(key_body)
+        if param in out_body.free_vars():
+            # Some part of the key did not survive into the output.
+            return None
+        return Partitioner(
+            ScalarFn(("_r",), out_body), source.num_partitions
+        )
 
     def _exec_flat_map(self, comb: CFlatMap) -> PartitionedBag:
         source = self._exec(comb.input)
@@ -414,6 +490,7 @@ class JobExecutor:
         if bag.partitioner is not None and bag.partitioner.matches(
             key_ir, bag.num_partitions
         ):
+            self.engine.metrics.shuffles_elided += 1
             if tracer is not None:
                 tracer.event(
                     "shuffle-elided",
@@ -671,16 +748,232 @@ class JobExecutor:
                 self.engine, self.job, partition_index, worker, seconds
             )
 
+    # -- hoisted shuffles --------------------------------------------------------------
+
+    def _hoist_key(self, child: Combinator, key_ir: ScalarFn) -> tuple | None:
+        """Cache key for a loop-invariant shuffled input, or ``None``.
+
+        Only inputs the physical-properties pass marked ``hoistable``
+        qualify, and only while every invariant leaf still resolves to
+        the *same* cached bag handle — rebinding a name to a new handle
+        (a re-cache) naturally invalidates the entry via ``id()``.
+        """
+        if not self.engine.physical_planning:
+            return None
+        props = child.phys
+        if props is None or props.motion != "hoistable":
+            return None
+        from repro.engines.base import BagHandle
+
+        ref_ids = []
+        for name in props.invariant_refs:
+            value = self.env.get(name)
+            if not isinstance(value, BagHandle):
+                return None
+            ref_ids.append(id(value))
+        return (
+            child.node_id,
+            key_ir.canonical().body,
+            self.parallelism,
+            tuple(ref_ids),
+        )
+
+    def _resolve_side(
+        self, child: Combinator, key_ir: ScalarFn
+    ) -> tuple[PartitionedBag, bool]:
+        """Execute a shuffle-feeding input, serving hoisted hits.
+
+        Returns ``(bag, hoisted)``; when ``hoisted`` the bag is already
+        shuffled on ``key_ir`` and the whole subtree was skipped.
+        """
+        hkey = self._hoist_key(child, key_ir)
+        if hkey is not None:
+            hit = self.engine._hoist_cache.get(hkey)
+            if hit is not None:
+                self.engine.metrics.shuffles_hoisted += 1
+                self.engine.metrics.cache_read_bytes += hit.nbytes()
+                tracer = self.engine.tracer
+                if tracer is not None:
+                    tracer.event(
+                        "shuffle-hoisted",
+                        ts=self.job.trace_ts(),
+                        key=key_ir.describe(),
+                    )
+                return hit, True
+        return self._exec(child), False
+
+    def _shuffled_side(
+        self, child: Combinator, bag: PartitionedBag, key_ir: ScalarFn
+    ) -> PartitionedBag:
+        """Shuffle a join/group input; store it when loop-invariant."""
+        shuffled = self.shuffle_by_key(bag, key_ir)
+        hkey = self._hoist_key(child, key_ir)
+        if hkey is not None and hkey not in self.engine._hoist_cache:
+            # Memory-resident, like the memory cache tier: one local
+            # pass to lay the partitions down, counted as cache traffic.
+            self.job.charge_spread(
+                self.engine.cost.cpu_seconds(shuffled.count())
+            )
+            self.engine.metrics.cache_write_bytes += shuffled.nbytes()
+            self.engine._hoist_cache[hkey] = shuffled
+        return shuffled
+
+    def _shuffled_input(
+        self, child: Combinator, key_ir: ScalarFn
+    ) -> PartitionedBag:
+        """Execute *and* shuffle an input, hoist-cache aware."""
+        bag, hoisted = self._resolve_side(child, key_ir)
+        if hoisted:
+            return bag
+        return self._shuffled_side(child, bag, key_ir)
+
+    # -- join strategy -----------------------------------------------------------------
+
+    def _aligned(self, bag: PartitionedBag, key_ir: ScalarFn) -> bool:
+        return bag.partitioner is not None and bag.partitioner.matches(
+            key_ir, bag.num_partitions
+        )
+
+    def _motion_free(
+        self,
+        child: Combinator,
+        bag: PartitionedBag,
+        key_ir: ScalarFn,
+        hoisted: bool,
+    ) -> bool:
+        """Whether repartitioning this side is (amortized) free.
+
+        Free when the side was served from the hoist cache, already
+        carries the required layout, or is loop-invariant (its one-time
+        shuffle amortizes to nothing over the iterations).
+        """
+        return (
+            hoisted
+            or self._aligned(bag, key_ir)
+            or self._hoist_key(child, key_ir) is not None
+        )
+
+    def _choose_broadcast(
+        self, build_bytes: int, moved_bytes: int
+    ) -> bool:
+        """Cost-based choice, bounded by the broadcast threshold.
+
+        The threshold stays a hard allowance (build sides above it never
+        broadcast — they would not fit the simulated workers' memory
+        budget); within the allowance the cost model compares shipping
+        the build side everywhere against moving the unaligned bytes.
+        """
+        if build_bytes > self.engine.broadcast_join_threshold:
+            return False
+        cost = self.engine.cost
+        return cost.broadcast_join_seconds(
+            build_bytes, self.engine.broadcast_factor
+        ) < cost.repartition_join_seconds(moved_bytes, self.num_workers)
+
+    def _adaptive_choice(
+        self,
+        comb: Combinator,
+        build_bytes: int,
+        moved_bytes: int,
+        left: PartitionedBag,
+        right: PartitionedBag,
+        lbytes: int,
+        rbytes: int,
+    ) -> bool:
+        """Pick broadcast vs repartition for a planner-annotated join.
+
+        The plan-time strategy is refined by the per-run statistics
+        cache: the site's previously *observed* choice is the planned
+        strategy on later executions, and a divergence (sizes drifted
+        across iterations) is surfaced as an ``adaptive_switches`` tick.
+        Returns True for broadcast.
+        """
+        stats = self.engine.stats
+        phys = comb.phys
+        if phys is not None and phys.strategy == "repartition":
+            # Static repartition: some side's motion is free (elidable
+            # or hoisted), so the shuffle is already (amortized) paid.
+            actual = "repartition"
+        else:
+            actual = (
+                "broadcast"
+                if self._choose_broadcast(build_bytes, moved_bytes)
+                else "repartition"
+            )
+        planned = stats.planned_strategy(comb.node_id)
+        if planned is None and phys is not None:
+            planned = phys.strategy
+        if planned not in (None, "cost") and planned != actual:
+            self.engine.metrics.adaptive_switches += 1
+            tracer = self.engine.tracer
+            if tracer is not None:
+                tracer.event(
+                    "adaptive-switch",
+                    ts=self.job.trace_ts(),
+                    planned=planned,
+                    actual=actual,
+                )
+        stats.observe_join(
+            comb.node_id,
+            JoinObservation(
+                left_rows=left.count(),
+                left_bytes=lbytes,
+                right_rows=right.count(),
+                right_bytes=rbytes,
+                moved_bytes=moved_bytes,
+                strategy=actual,
+            ),
+        )
+        return actual == "broadcast"
+
+    def _pair_partitioner(
+        self, partitioner: Partitioner | None, pos: int
+    ) -> Partitioner | None:
+        """A join input's partitioner lifted over the output pairs.
+
+        Join outputs are ``(left, right)`` tuples built in place, so a
+        hash partitioning of the surviving side carries over with its
+        key re-rooted at the pair element.
+        """
+        if partitioner is None or len(partitioner.key.params) != 1:
+            return None
+        key = partitioner.key
+        body = key.body.substitute(
+            {key.params[0]: Index(Ref("_j"), Const(pos))}
+        )
+        return Partitioner(
+            ScalarFn(("_j",), body), partitioner.num_partitions
+        )
+
     # -- joins -------------------------------------------------------------------------
 
     def _exec_eq_join(self, comb: CEqJoin) -> PartitionedBag:
-        left = self._exec(comb.left)
-        right = self._exec(comb.right)
+        left, lhoisted = self._resolve_side(comb.left, comb.kx)
+        right, rhoisted = self._resolve_side(comb.right, comb.ky)
         kx, ex = self._compile_udf(comb.kx)
         ky, ey = self._compile_udf(comb.ky)
         lbytes, rbytes = left.nbytes(), right.nbytes()
-        threshold = self.engine.broadcast_join_threshold
-        if min(lbytes, rbytes) <= threshold:
+        planned = (
+            comb.phys is not None and self.engine.physical_planning
+        )
+        if planned:
+            lmoved = 0 if self._motion_free(comb.left, left, comb.kx, lhoisted) else lbytes
+            rmoved = 0 if self._motion_free(comb.right, right, comb.ky, rhoisted) else rbytes
+            broadcast = self._adaptive_choice(
+                comb,
+                min(lbytes, rbytes),
+                lmoved + rmoved,
+                left,
+                right,
+                lbytes,
+                rbytes,
+            )
+        else:
+            broadcast = (
+                min(lbytes, rbytes)
+                <= self.engine.broadcast_join_threshold
+            )
+        if broadcast:
             # Broadcast join: ship the small side everywhere.
             self.engine.metrics.broadcast_joins += 1
             if rbytes <= lbytes:
@@ -707,11 +1000,18 @@ class JobExecutor:
                         rows.append((m, x) if small_first else (x, m))
                 out.append(rows)
                 self._charge_cpu(i, len(p) + len(rows))
-            return PartitionedBag(out)
+            return PartitionedBag(
+                out,
+                self._pair_partitioner(
+                    big.partitioner, 1 if small_first else 0
+                ),
+            )
         # Repartition join.
         self.engine.metrics.repartition_joins += 1
-        left = self.shuffle_by_key(left, comb.kx)
-        right = self.shuffle_by_key(right, comb.ky)
+        if not lhoisted:
+            left = self._shuffled_side(comb.left, left, comb.kx)
+        if not rhoisted:
+            right = self._shuffled_side(comb.right, right, comb.ky)
         out = []
         for i, (lp, rp) in enumerate(
             zip(left.partitions, right.partitions)
@@ -725,14 +1025,29 @@ class JobExecutor:
                     rows.append((x, m))
             out.append(rows)
             self._charge_cpu(i, len(lp) + len(rp) + len(rows))
-        return PartitionedBag(out)
+        return PartitionedBag(
+            out, self._pair_partitioner(left.partitioner, 0)
+        )
 
     def _exec_semi_join(self, comb: CSemiJoin) -> PartitionedBag:
-        left = self._exec(comb.left)
-        right = self._exec(comb.right)
+        left, lhoisted = self._resolve_side(comb.left, comb.kx)
+        right, rhoisted = self._resolve_side(comb.right, comb.ky)
         kx, _ = self._compile_udf(comb.kx)
         ky, _ = self._compile_udf(comb.ky)
-        if right.nbytes() <= self.engine.broadcast_join_threshold:
+        lbytes, rbytes = left.nbytes(), right.nbytes()
+        planned = (
+            comb.phys is not None and self.engine.physical_planning
+        )
+        if planned:
+            # The right side's key set is the build side.
+            lmoved = 0 if self._motion_free(comb.left, left, comb.kx, lhoisted) else lbytes
+            rmoved = 0 if self._motion_free(comb.right, right, comb.ky, rhoisted) else rbytes
+            broadcast = self._adaptive_choice(
+                comb, rbytes, lmoved + rmoved, left, right, lbytes, rbytes
+            )
+        else:
+            broadcast = rbytes <= self.engine.broadcast_join_threshold
+        if broadcast:
             self.engine.metrics.broadcast_joins += 1
             # Broadcast strategy: ship the (small) right side's key set;
             # the left side never moves and keeps its partitioning.
@@ -756,8 +1071,10 @@ class JobExecutor:
         # join whose probe side is deduplicated per key).  A side that
         # already carries the matching partitioning is not moved, which
         # is what partition pulling exploits.
-        left = self.shuffle_by_key(left, comb.kx)
-        right = self.shuffle_by_key(right, comb.ky)
+        if not lhoisted:
+            left = self._shuffled_side(comb.left, left, comb.kx)
+        if not rhoisted:
+            right = self._shuffled_side(comb.right, right, comb.ky)
         out = []
         for i, (lp, rp) in enumerate(
             zip(left.partitions, right.partitions)
@@ -789,15 +1106,16 @@ class JobExecutor:
             else:
                 rows = [(y, x) for x in p for y in small_records]
             out.append(rows)
-            self._charge_cpu(i, max(len(rows), len(p)))
+            # The nested loop touches every (row, small-record) pair
+            # once and scans the partition once.
+            self._charge_cpu(i, len(p) + len(rows))
         return PartitionedBag(out)
 
     # -- grouping / aggregation ------------------------------------------------------
 
     def _exec_group_by(self, comb: CGroupBy) -> PartitionedBag:
-        source = self._exec(comb.input)
         key_fn, extra = self._compile_udf(comb.key)
-        shuffled = self.shuffle_by_key(source, comb.key)
+        shuffled = self._shuffled_input(comb.input, comb.key)
         factor = self.engine.group_materialize_factor
         out: list[list[Any]] = []
         for i, p in enumerate(shuffled.partitions):
@@ -918,6 +1236,17 @@ class JobExecutor:
         partial_bag = PartitionedBag(
             partials, effective_partitioner if aligned else None
         )
+        if aligned:
+            # The input already sits where the reducers need it; the
+            # partial-aggregate shuffle disappears entirely.
+            self.engine.metrics.shuffles_elided += 1
+            tracer = self.engine.tracer
+            if tracer is not None:
+                tracer.event(
+                    "shuffle-elided",
+                    ts=self.job.trace_ts(),
+                    key=comb.key.describe(),
+                )
         if not aligned:
             # Phase 2: only the partial aggregates are shuffled.
             partial_bag = self.shuffle_by_key(

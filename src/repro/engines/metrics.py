@@ -47,6 +47,17 @@ class Metrics:
     broadcast_joins: int = 0
     repartition_joins: int = 0
 
+    # -- partitioning-aware physical planning ------------------------------
+    #: shuffles skipped because the producer already delivered the
+    #: required hash partitioning (interesting-properties elision)
+    shuffles_elided: int = 0
+    #: loop-invariant shuffle inputs served from the per-run hoist
+    #: cache instead of being recomputed and re-shuffled
+    shuffles_hoisted: int = 0
+    #: joins whose runtime strategy differed from the plan-time choice
+    #: after the adaptive re-check against observed sizes
+    adaptive_switches: int = 0
+
     #: operators executed inside fused chains (physical pipelining)
     chained_operators: int = 0
     #: per-operator task-overhead charges eliminated by chaining
@@ -103,6 +114,12 @@ class Metrics:
             f"dfs_w={_fmt_bytes(self.dfs_write_bytes)} "
             f"ops={self.element_ops}"
         )
+        if self.shuffles_elided or self.shuffles_hoisted or self.adaptive_switches:
+            base += (
+                f" elided={self.shuffles_elided} "
+                f"hoisted={self.shuffles_hoisted} "
+                f"adaptive={self.adaptive_switches}"
+            )
         if self.recovery_happened:
             base += " | " + self.recovery_summary()
         return base

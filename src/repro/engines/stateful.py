@@ -195,7 +195,17 @@ class DistributedStatefulBag:
                 self._key_ir, parallelism
             )
         )
-        if not aligned:
+        if aligned:
+            # Messages are already hash-partitioned on the state key;
+            # the routing shuffle above is a local no-op.
+            self.engine.metrics.shuffles_elided += 1
+            if tracer is not None:
+                tracer.event(
+                    "shuffle-elided",
+                    ts=job.trace_ts(),
+                    key=self._key_ir.describe(),
+                )
+        else:
             moved = estimate_bag_bytes(message_bag.collect())
             job.charge_spread(self.engine.cost.network_seconds(moved))
             self.engine.metrics.shuffle_bytes += moved

@@ -48,24 +48,28 @@ CONFIGURATIONS: dict[str, EmmaConfig] = {
         fold_group_fusion=False,
         caching=False,
         partition_pulling=False,
+        physical_planning=False,
     ),
     "unnesting+partitioning": EmmaConfig(
         unnesting=True,
         fold_group_fusion=False,
         caching=False,
         partition_pulling=True,
+        physical_planning=False,
     ),
     "unnesting+caching": EmmaConfig(
         unnesting=True,
         fold_group_fusion=False,
         caching=True,
         partition_pulling=False,
+        physical_planning=False,
     ),
     "unnesting+partitioning+caching": EmmaConfig(
         unnesting=True,
         fold_group_fusion=False,
         caching=True,
         partition_pulling=True,
+        physical_planning=False,
     ),
 }
 

@@ -37,10 +37,16 @@ from repro.workloads import datagen
 from repro.workloads.groupagg import group_min
 
 FUSION = EmmaConfig(
-    fold_group_fusion=True, caching=False, partition_pulling=False
+    fold_group_fusion=True,
+    caching=False,
+    partition_pulling=False,
+    physical_planning=False,
 )
 NO_FUSION = EmmaConfig(
-    fold_group_fusion=False, caching=False, partition_pulling=False
+    fold_group_fusion=False,
+    caching=False,
+    partition_pulling=False,
+    physical_planning=False,
 )
 
 

@@ -39,13 +39,22 @@ from repro.workloads.kmeans import initial_centroids, kmeans
 from repro.workloads.pagerank import pagerank
 
 NO_FUSION = EmmaConfig(
-    fold_group_fusion=False, caching=True, partition_pulling=False
+    fold_group_fusion=False,
+    caching=True,
+    partition_pulling=False,
+    physical_planning=False,
 )
 FUSION_NO_CACHE = EmmaConfig(
-    fold_group_fusion=True, caching=False, partition_pulling=False
+    fold_group_fusion=True,
+    caching=False,
+    partition_pulling=False,
+    physical_planning=False,
 )
 FUSION_CACHE = EmmaConfig(
-    fold_group_fusion=True, caching=True, partition_pulling=False
+    fold_group_fusion=True,
+    caching=True,
+    partition_pulling=False,
+    physical_planning=False,
 )
 
 PAPER_CACHING_SPEEDUP = {

@@ -35,6 +35,7 @@ OPTIMIZED = EmmaConfig(
     fold_group_fusion=True,
     caching=False,
     partition_pulling=False,
+    physical_planning=False,
 )
 UNOPTIMIZED = EmmaConfig.none()
 

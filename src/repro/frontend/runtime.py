@@ -80,6 +80,9 @@ def run_compiled(
     params: Mapping[str, Any],
 ) -> Any:
     """Interpret the compiled program against a parallel engine."""
+    begin_run = getattr(engine, "begin_run", None)
+    if begin_run is not None:
+        begin_run()
     env: dict[str, Any] = {**captured, **params}
     env["__engine__"] = engine
     env["__denv__"] = env

@@ -107,12 +107,42 @@ class ScalarFn:
 
 
 @dataclass(frozen=True)
+class PhysProps:
+    """Physical-planning annotations on a combinator node.
+
+    Set by :mod:`repro.optimizer.physical_props` (the interesting-
+    properties pass).  On a node feeding a shuffle, ``motion`` records
+    how the required repartitioning is expected to be satisfied:
+
+    * ``"elidable"`` — the node already delivers the required hash
+      partitioning, so the shuffle is a no-op;
+    * ``"hoistable"`` — the node is loop-invariant (all leaves are
+      cached bags, no UDF reads a loop-mutated name), so its shuffled
+      result can be computed once and reused every iteration;
+    * ``"required"`` — the data genuinely has to move.
+
+    On a join node, ``strategy`` records the plan-time preference
+    (``"repartition"`` when a side's motion is free, ``"cost"`` to defer
+    to the runtime size comparison).  ``delivered`` is the partitioning
+    key the node's *output* carries, when one is statically known.
+    ``invariant_refs`` names the cached bags a hoistable subtree reads —
+    the hoist-cache key includes their identities so a re-cached input
+    invalidates the hoisted result.
+    """
+
+    delivered: ScalarFn | None = None
+    motion: str | None = None
+    strategy: str | None = None
+    invariant_refs: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
 class Combinator:
     """Base class for dataflow combinator nodes.
 
-    ``cache`` and ``partition_hint`` are physical annotations set by the
-    optimizer; ``node_id`` identifies the node across rewrites (used by
-    engines for cache keys).
+    ``cache``, ``partition_hint``, and ``phys`` are physical annotations
+    set by the optimizer; ``node_id`` identifies the node across
+    rewrites (used by engines for cache keys).
     """
 
     node_id: int = field(
@@ -120,6 +150,7 @@ class Combinator:
     )
     cache: bool = field(default=False, compare=False)
     partition_hint: ScalarFn | None = field(default=None, compare=False)
+    phys: PhysProps | None = field(default=None, compare=False)
 
     def inputs(self) -> tuple["Combinator", ...]:
         """The upstream dataflow nodes this combinator consumes."""
@@ -136,6 +167,10 @@ class Combinator:
     def with_partition_hint(self, key: ScalarFn) -> "Combinator":
         """A copy annotated with an enforced hash partitioning."""
         return replace(self, partition_hint=key)
+
+    def with_phys(self, props: PhysProps) -> "Combinator":
+        """A copy annotated with physical-planning properties."""
+        return replace(self, phys=props)
 
     def label(self) -> str:
         """The operator's display name (class name sans ``C``)."""
@@ -444,6 +479,13 @@ def combinator_nodes(root: Combinator) -> Iterator[Combinator]:
         yield from combinator_nodes(child)
 
 
+_MOTION_MARKERS = {
+    "elidable": "[co-partitioned]",
+    "hoistable": "[hoisted]",
+    "required": "[shuffle]",
+}
+
+
 def explain(root: Combinator, indent: int = 0) -> str:
     """Render a combinator tree as an indented plan, one node per line."""
     flags = []
@@ -451,8 +493,13 @@ def explain(root: Combinator, indent: int = 0) -> str:
         flags.append("cached")
     if root.partition_hint is not None:
         flags.append(f"partitioned[{root.partition_hint.describe()}]")
+    if root.phys is not None and root.phys.strategy is not None:
+        flags.append(f"strategy={root.phys.strategy}")
     suffix = f"  <{', '.join(flags)}>" if flags else ""
-    lines = ["  " * indent + root.describe() + suffix]
+    marker = ""
+    if root.phys is not None and root.phys.motion is not None:
+        marker = " " + _MOTION_MARKERS[root.phys.motion]
+    lines = ["  " * indent + root.describe() + marker + suffix]
     for child in root.inputs():
         lines.append(explain(child, indent + 1))
     return "\n".join(lines)

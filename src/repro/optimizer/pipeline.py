@@ -89,6 +89,13 @@ class EmmaConfig:
     #: it is the physical layer the target engines apply below the
     #: logical rewrites)
     operator_chaining: bool = True
+    #: partitioning-aware physical planning: the interesting-properties
+    #: pass (:mod:`repro.optimizer.physical_props`) annotates shuffle
+    #: sites as required/elidable/hoistable and joins with a plan-time
+    #: strategy; also a runtime knob — the engine's cost-based strategy
+    #: choice, loop-invariant hoist cache, and partitioner propagation
+    #: follow it (not a Table 1 row; a post-paper physical-layer pass)
+    physical_planning: bool = True
 
     # Runtime (not compile-time) knobs, applied to the engine by
     # ``Algorithm.run``: they do not change the compiled plans, only
@@ -114,6 +121,7 @@ class EmmaConfig:
             caching=False,
             partition_pulling=False,
             operator_chaining=False,
+            physical_planning=False,
         )
 
     @staticmethod
@@ -150,6 +158,9 @@ class OptimizationReport:
     dataflow_sites: int = 0
     operator_chains: int = 0
     chained_operators: int = 0
+    physical_joins: int = 0
+    elidable_shuffle_inputs: int = 0
+    hoistable_shuffle_inputs: int = 0
 
     @property
     def unnesting_applied(self) -> bool:
@@ -170,6 +181,12 @@ class OptimizationReport:
     @property
     def operator_chaining_applied(self) -> bool:
         return self.operator_chains > 0
+
+    @property
+    def physical_planning_applied(self) -> bool:
+        return bool(
+            self.elidable_shuffle_inputs or self.hoistable_shuffle_inputs
+        )
 
     def table1_row(self) -> dict[str, bool]:
         """The applicability row: optimization name -> applied."""
@@ -624,10 +641,117 @@ def compile_program(
             detail="disabled by config",
         )
 
+    # 5. Physical planning: the interesting-properties pass annotates
+    # every site plan with delivered/required partitionings, shuffle-
+    # input motion classes, and plan-time join strategies.
+    sites = compiler.sites
+    if config.physical_planning:
+        from repro.optimizer.physical_props import (
+            PlanContext,
+            annotate_physical,
+            loop_mutated_names,
+        )
+
+        cached_names = frozenset(
+            d.name for d in report.cache_decisions
+        )
+        mutated = loop_mutated_names(compiled)
+        plan_map: dict[int, Combinator] = {}
+        new_sites: list[tuple[Expr, Combinator, bool]] = []
+        for idx, (expr, plan, in_loop) in enumerate(sites):
+            ctx = PlanContext(
+                in_loop=in_loop,
+                cached_names=cached_names,
+                stateful_names=frozenset(compiler.stateful_names),
+                partition_keys=partition_keys,
+                loop_mutated=mutated,
+            )
+            annotated, stats = annotate_physical(plan, ctx)
+            plan_map[id(plan)] = annotated
+            new_sites.append((expr, annotated, in_loop))
+            report.physical_joins += stats.annotated_joins
+            report.elidable_shuffle_inputs += stats.elidable_inputs
+            report.hoistable_shuffle_inputs += stats.hoistable_inputs
+            trace.record(
+                "physical planning",
+                "interesting-properties",
+                stats.fired,
+                detail=stats.summary(),
+                site=idx,
+                after=annotated if stats.fired else None,
+            )
+            for decision in stats.decisions:
+                trace.record(
+                    "physical planning",
+                    "join-strategy",
+                    True,
+                    detail=decision,
+                    site=idx,
+                )
+        sites = new_sites
+        compiled = compiled.with_body(
+            _replace_site_plans(compiled.body, plan_map)
+        )
+    else:
+        trace.record(
+            "physical planning",
+            "interesting-properties",
+            False,
+            detail="disabled by config",
+        )
+
     return CompiledProgram(
         program=compiled,
         partition_keys=partition_keys,
         report=report,
-        sites=compiler.sites,
+        sites=sites,
         trace=trace,
     )
+
+
+def _replace_site_plans(
+    stmts: tuple[Stmt, ...], plan_map: Mapping[int, Combinator]
+) -> tuple[Stmt, ...]:
+    """Swap every embedded :class:`PlanExpr`'s plan for its annotated
+    copy (matched by the original plan object's identity)."""
+
+    def rewrite_expr(expr: Expr) -> Expr:
+        if isinstance(expr, PlanExpr):
+            changes: dict[str, Any] = {}
+            annotated = plan_map.get(id(expr.plan))
+            if annotated is not None:
+                changes["plan"] = annotated
+            if expr.path is not None:
+                changes["path"] = rewrite_expr(expr.path)
+            return replace(expr, **changes) if changes else expr
+        return expr.rebuild(rewrite_expr)
+
+    def rewrite_stmt(stmt: Stmt) -> Stmt:
+        if isinstance(stmt, (SAssign, SExpr)):
+            return replace(stmt, value=rewrite_expr(stmt.value))
+        if isinstance(stmt, SReturn):
+            if stmt.value is None:
+                return stmt
+            return replace(stmt, value=rewrite_expr(stmt.value))
+        if isinstance(stmt, SWhile):
+            return replace(
+                stmt,
+                cond=rewrite_expr(stmt.cond),
+                body=tuple(rewrite_stmt(s) for s in stmt.body),
+            )
+        if isinstance(stmt, SFor):
+            return replace(
+                stmt,
+                iterable=rewrite_expr(stmt.iterable),
+                body=tuple(rewrite_stmt(s) for s in stmt.body),
+            )
+        if isinstance(stmt, SIf):
+            return replace(
+                stmt,
+                cond=rewrite_expr(stmt.cond),
+                then=tuple(rewrite_stmt(s) for s in stmt.then),
+                orelse=tuple(rewrite_stmt(s) for s in stmt.orelse),
+            )
+        return stmt
+
+    return tuple(rewrite_stmt(s) for s in stmts)

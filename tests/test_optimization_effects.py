@@ -141,6 +141,9 @@ class TestCachingMechanism:
 
 class TestPartitionPullingMechanism:
     def test_partitioned_caches_eliminate_loop_shuffles(self, dfs):
+        # Physical planning off: loop-invariant hoisting would remove
+        # the per-iteration shuffles in *both* configs, hiding the
+        # partition-pulling effect this test isolates.
         _, cached = _run_flag_loop(
             dfs,
             EmmaConfig(
@@ -148,6 +151,7 @@ class TestPartitionPullingMechanism:
                 fold_group_fusion=False,
                 caching=True,
                 partition_pulling=False,
+                physical_planning=False,
             ),
         )
         _, pulled = _run_flag_loop(
@@ -157,6 +161,7 @@ class TestPartitionPullingMechanism:
                 fold_group_fusion=False,
                 caching=True,
                 partition_pulling=True,
+                physical_planning=False,
             ),
         )
         # Without pulling: both join sides shuffle every iteration.
