@@ -35,6 +35,12 @@ from repro.engines.faults import (
 from repro.engines.flinklike import FlinkLikeEngine
 from repro.engines.local import LocalEngine
 from repro.engines.metrics import Metrics
+from repro.engines.scheduler import (
+    EXECUTION_MODES,
+    PartitionTask,
+    TaskScheduler,
+    TaskStage,
+)
 from repro.engines.sparklike import SparkLikeEngine
 from repro.engines.tracing import (
     CompileTrace,
@@ -61,6 +67,10 @@ __all__ = [
     "FlinkLikeEngine",
     "LocalEngine",
     "Metrics",
+    "EXECUTION_MODES",
+    "PartitionTask",
+    "TaskScheduler",
+    "TaskStage",
     "SparkLikeEngine",
     "CompileTrace",
     "RuntimeTracer",

@@ -25,6 +25,7 @@ to the :class:`~repro.engines.costmodel.CostModel`.
 
 from __future__ import annotations
 
+import time
 import weakref
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -41,6 +42,7 @@ from repro.errors import EngineError, SimulatedTimeout
 from repro.lowering.combinators import Combinator, ScalarFn
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.engines.scheduler import TaskScheduler
     from repro.optimizer.pipeline import EmmaConfig
 
 
@@ -171,6 +173,16 @@ class Engine:
     #: hoisting, and partitioner propagation through maps (toggled per
     #: run by ``EmmaConfig.physical_planning``)
     physical_planning = True
+    #: host-parallel execution backend for partition tasks: "serial"
+    #: runs the operators' original inline loops; "threads"/"processes"
+    #: fan the pure per-partition work out on the engine's
+    #: :class:`~repro.engines.scheduler.TaskScheduler` (results and
+    #: ``simulated_seconds`` stay bit-identical — only wall clock moves)
+    execution_mode = "serial"
+    #: concurrent partition-task slots (0 = one per host CPU core)
+    max_parallel_tasks = 0
+    #: re-launch straggler tasks speculatively (first result wins)
+    speculative_execution = True
 
     def __init__(
         self,
@@ -181,6 +193,9 @@ class Engine:
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
         checkpoint_interval: int = 0,
+        execution_mode: str | None = None,
+        max_parallel_tasks: int | None = None,
+        speculative_execution: bool = True,
     ) -> None:
         self.cluster = cluster or ClusterConfig()
         self.cost = cost or CostModel()
@@ -209,6 +224,76 @@ class Engine:
         self._hoist_cache: dict[tuple, PartitionedBag] = {}
         #: per-run observed cardinalities/bytes for adaptive re-checks
         self.stats = StatsCache()
+        #: lazily built host-parallel task scheduler (see ``scheduler``)
+        self._scheduler: "TaskScheduler | None" = None
+        # ``None`` adopts the (environment-overridable) defaults so CI
+        # can flip every engine to the parallel backend at once.
+        from repro.engines.scheduler import (
+            default_execution_mode,
+            default_max_parallel_tasks,
+        )
+
+        self.configure_execution(
+            execution_mode
+            if execution_mode is not None
+            else default_execution_mode(),
+            max_parallel_tasks
+            if max_parallel_tasks is not None
+            else default_max_parallel_tasks(),
+            speculative_execution,
+        )
+
+    # -- host-parallel execution backend ----------------------------------
+
+    def configure_execution(
+        self,
+        mode: str,
+        max_parallel_tasks: int | None = None,
+        speculation: bool | None = None,
+    ) -> None:
+        """Select the host-parallel backend for partition tasks.
+
+        ``mode`` is one of ``"serial"`` (the operators' original inline
+        loops), ``"threads"`` (in-process thread pool — useful for
+        testing the scheduler without pickling), or ``"processes"``
+        (a spawn-context ``ProcessPoolExecutor`` with source-shipped
+        chain kernels; the mode that buys real multi-core wall clock).
+        Any existing scheduler is torn down so the next job builds one
+        with the new settings.
+        """
+        from repro.engines.scheduler import EXECUTION_MODES
+
+        if mode not in EXECUTION_MODES:
+            raise EngineError(
+                f"unknown execution_mode {mode!r}: expected one of "
+                f"{', '.join(EXECUTION_MODES)}"
+            )
+        self.execution_mode = mode
+        if max_parallel_tasks is not None:
+            self.max_parallel_tasks = max_parallel_tasks
+        if speculation is not None:
+            self.speculative_execution = speculation
+        if self._scheduler is not None:
+            self._scheduler.close()
+            self._scheduler = None
+
+    @property
+    def scheduler(self) -> "TaskScheduler":
+        """The engine's task scheduler, built on first use.
+
+        Built lazily so serial-mode engines never pay for pool setup,
+        and rebuilt after every :meth:`configure_execution` so mode and
+        width changes take effect immediately.
+        """
+        if self._scheduler is None:
+            from repro.engines.scheduler import TaskScheduler
+
+            self._scheduler = TaskScheduler(
+                mode=self.execution_mode,
+                max_parallel_tasks=self.max_parallel_tasks,
+                speculation=self.speculative_execution,
+            )
+        return self._scheduler
 
     # -- fault configuration ----------------------------------------------
 
@@ -241,6 +326,16 @@ class Engine:
         if config.tracing:
             self.enable_tracing()
         self.physical_planning = config.physical_planning
+        if (
+            config.execution_mode != self.execution_mode
+            or config.max_parallel_tasks != self.max_parallel_tasks
+            or config.speculative_execution != self.speculative_execution
+        ):
+            self.configure_execution(
+                config.execution_mode,
+                config.max_parallel_tasks,
+                config.speculative_execution,
+            )
 
     def begin_run(self) -> None:
         """Reset per-run planner state (hoist cache, statistics).
@@ -524,6 +619,7 @@ class Engine:
                 job_index=index,
                 workers=self.cluster.num_workers,
             )
+        job.wall_started = time.perf_counter()
         return job
 
     def _finish_job(self, job: JobRun) -> float:
@@ -531,6 +627,10 @@ class Engine:
             fixed_overhead=self.cost.job_overhead,
             stage_overhead=self.cost.stage_overhead,
         )
+        # Wall clock is measured, not simulated: it is the one metric
+        # allowed to differ between execution modes.
+        wall = time.perf_counter() - job.wall_started
+        self.metrics.wall_clock_seconds += wall
         if self.tracer is not None and job.span is not None:
             self.tracer.end_at_duration(
                 job.span,
@@ -538,6 +638,7 @@ class Engine:
                 stages=job.stages,
                 busy_seconds=round(max(job.worker_seconds, default=0.0), 9),
                 driver_seconds=round(job.driver_seconds, 9),
+                wall_clock_seconds=round(wall, 6),
             )
         if (
             self.time_budget is not None

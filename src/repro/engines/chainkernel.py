@@ -33,6 +33,15 @@ operators would have — minus the per-operator overheads it eliminates.
 A step whose body cannot be inlined (exotic IR nodes, a free name that
 conflicts with another step's binding, a multi-parameter UDF) degrades
 gracefully to a call of its compiled closure; semantics are identical.
+
+Kernels are *picklable by source re-hydration*: a
+:class:`KernelStep` pickles its lifted IR body and resolved bindings
+(never the compiled closure — code objects do not cross process
+boundaries), and a :class:`ChainKernel` pickles as the recipe
+``build_chain_kernel(steps)``, so unpickling in a worker process
+regenerates and recompiles the exact same kernel source.  This is what
+lets :mod:`repro.engines.scheduler` ship chain kernels to a
+``ProcessPoolExecutor`` as source.
 """
 
 from __future__ import annotations
@@ -63,10 +72,16 @@ def _as_sequence(value: Any) -> Any:
 
 @dataclass(frozen=True)
 class KernelStep:
-    """One operator of a chain, prepared for kernel generation."""
+    """One operator of a chain, prepared for kernel generation.
+
+    ``closure`` may be ``None`` after unpickling — it is rebuilt on
+    demand from ``(params, body, bindings)`` by
+    :meth:`resolve_closure`, so a step that crosses a process boundary
+    carries only IR and data, never code objects.
+    """
 
     kind: str  # "map" | "filter" | "flatmap"
-    closure: Callable  # compiled UDF (native or interpreted)
+    closure: Callable | None  # compiled UDF (native or interpreted)
     extra: int  # per-element broadcast-scan op weight
     params: tuple[str, ...] = ()
     body: Expr | None = None  # lifted body, for source inlining
@@ -77,6 +92,50 @@ class KernelStep:
         """Whether this step changes the record count downstream."""
         return self.kind in (FILTER, FLATMAP)
 
+    def resolve_closure(self) -> Callable:
+        """The step's compiled UDF, rebuilding it from IR if needed.
+
+        After a cross-process round trip the closure slot is empty;
+        recompiling ``ScalarFn(params, body)`` over the shipped
+        bindings reproduces the driver-side closure exactly (native
+        compilation falls back to the interpreter the same way on both
+        sides).  The rebuilt closure is cached on the step.
+        """
+        if self.closure is None:
+            if self.body is None or self.bindings is None:
+                from repro.errors import EngineError
+
+                raise EngineError(
+                    "chain step has neither a closure nor the "
+                    "(body, bindings) source to rebuild one — it "
+                    "cannot have crossed a process boundary intact"
+                )
+            from repro.lowering.combinators import ScalarFn
+
+            closure, _native = ScalarFn(
+                tuple(self.params), self.body
+            ).compile_native(dict(self.bindings))
+            object.__setattr__(self, "closure", closure)
+        return self.closure
+
+    def __getstate__(self) -> dict[str, Any]:
+        """Pickle the step as IR + bindings, dropping the closure."""
+        return {
+            "kind": self.kind,
+            "extra": self.extra,
+            "params": tuple(self.params),
+            "body": self.body,
+            "bindings": (
+                dict(self.bindings) if self.bindings is not None else None
+            ),
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        """Restore fields; the closure is rebuilt lazily on first use."""
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        object.__setattr__(self, "closure", None)
+
 
 class ChainKernel:
     """A compiled whole-chain per-partition kernel."""
@@ -86,6 +145,7 @@ class ChainKernel:
         steps: Sequence[KernelStep],
         run: Callable[[Any, Callable[[Any], Any]], tuple],
         inlined: int,
+        source: str = "",
     ) -> None:
         self.steps = tuple(steps)
         #: ``run(partition, emit) -> counts`` streams every record of
@@ -93,6 +153,20 @@ class ChainKernel:
         self.run = run
         #: how many step bodies were source-inlined (vs closure calls)
         self.inlined = inlined
+        #: the generated kernel source (what ships between processes)
+        self.source = source
+
+    def __reduce__(self) -> tuple:
+        """Pickle as the generation recipe, not the compiled function.
+
+        Unpickling calls ``build_chain_kernel(steps)`` in the receiving
+        process, which regenerates the kernel *source* from the shipped
+        step IR and compiles it there — the kernel truly travels as
+        source, and a worker that already built this kernel's
+        fingerprint serves it from its local memo instead (see
+        :mod:`repro.engines.scheduler`).
+        """
+        return (build_chain_kernel, (self.steps,))
 
     def entered_counts(
         self, n_in: int, counts: tuple
@@ -145,7 +219,7 @@ def build_chain_kernel(steps: Sequence[KernelStep]) -> ChainKernel:
                 inlined += 1
                 return src
         name = f"_f{i}"
-        namespace[name] = step.closure
+        namespace[name] = step.resolve_closure()
         return f"{name}({var})"
 
     counters: list[str] = []
@@ -186,4 +260,6 @@ def build_chain_kernel(steps: Sequence[KernelStep]) -> ChainKernel:
     source = "\n".join(lines)
     code = compile(source, "<chain-kernel>", "exec")
     exec(code, namespace)  # noqa: S102 - compiler-generated source
-    return ChainKernel(steps, namespace["_chain_kernel"], inlined)
+    return ChainKernel(
+        steps, namespace["_chain_kernel"], inlined, source=source
+    )

@@ -65,9 +65,13 @@ def stable_hash(value: Any) -> int:
     456), which would make partition layouts — and therefore skew-
     sensitive experiment outcomes — vary between runs.  This hash is
     deterministic: integers map to themselves, strings/bytes through
-    CRC32, sequences combine positionally, sets order-independently,
-    and dataclass records field-wise (tagged with the class name, so
-    two record types with equal field values partition differently).
+    CRC32, sequences combine positionally, sets and dict items
+    order-independently, and dataclass records field-wise (tagged with
+    the class name, so two record types with equal field values
+    partition differently).  Dicts hash as their ``(key, value)`` item
+    set, which is what lets worker-shipped closure *bindings* (name →
+    captured value mappings) be fingerprinted for the per-worker-process
+    kernel memo of :mod:`repro.engines.scheduler`.
 
     Values outside this closed set raise :class:`EngineError` rather
     than falling back to ``repr``: object reprs that embed ``id()``
@@ -94,6 +98,14 @@ def stable_hash(value: Any) -> int:
         for item in value:  # xor: order-independent
             acc ^= stable_hash(item)
         return acc & 0xFFFFFFFF
+    if isinstance(value, dict):
+        # A dict is its item set: xor of per-item (key, value) hashes
+        # so insertion order never matters, under a dict-specific tag
+        # so {} and set() hash apart.
+        acc = 0x6B43A9
+        for item in value.items():
+            acc ^= _combine(0x345678, item)
+        return acc & 0xFFFFFFFF
     if value is None:
         return 0
     if is_dataclass(value) and not isinstance(value, type):
@@ -106,7 +118,7 @@ def stable_hash(value: Any) -> int:
     raise EngineError(
         f"cannot compute a stable partition hash for a "
         f"{type(value).__name__}: partition keys must be "
-        f"ints/floats/strings/bytes/tuples/lists/sets or dataclass "
+        f"ints/floats/strings/bytes/tuples/lists/sets/dicts or dataclass "
         f"records composed of those (repr-based hashing of arbitrary "
         f"objects is not deterministic across runs)"
     )

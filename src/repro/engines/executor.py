@@ -48,6 +48,21 @@ from repro.engines.cluster import (
 )
 from repro.engines.costmodel import JoinObservation
 from repro.engines.metrics import JobRun
+from repro.engines.scheduler import (
+    AggMapSpec,
+    AggMergeSpec,
+    BroadcastProbeSpec,
+    BroadcastSemiSpec,
+    BucketSpec,
+    FoldSpec,
+    GroupSpec,
+    JoinProbeSpec,
+    KernelSpec,
+    PartitionTask,
+    SemiProbeSpec,
+    TaskStage,
+    UdfRef,
+)
 from repro.engines.sizes import estimate_bag_bytes, estimate_record_bytes
 from repro.errors import EngineError, SimulatedMemoryError
 from repro.lowering.combinators import (
@@ -105,6 +120,25 @@ class _CompiledUdf:
         self.closure = closure
         self.extra = extra
         self.native = native
+
+    def __reduce__(self) -> tuple:
+        """Pickle as source: IR + bindings, recompiled on arrival.
+
+        The compiled closure (a code object over driver-local cells)
+        never crosses a process boundary; the receiving side re-runs
+        the same ``compile_native`` the driver did, with the same
+        native-vs-interpreter fallback, so both sides execute
+        semantically identical code.
+        """
+        return (_rehydrate_udf, (self.fn, self.bindings, self.extra))
+
+
+def _rehydrate_udf(
+    fn: ScalarFn, bindings: dict[str, Any], extra: int
+) -> _CompiledUdf:
+    """Recompile a shipped UDF in the receiving process (pickle hook)."""
+    closure, native = fn.compile_native(dict(bindings))
+    return _CompiledUdf(fn, bindings, closure, extra, native)
 
 
 class JobExecutor:
@@ -206,6 +240,82 @@ class JobExecutor:
             worker = faults.effective_worker(worker)
         return worker
 
+    # -- parallel backend --------------------------------------------------
+
+    @property
+    def _parallel(self) -> bool:
+        """Whether partition tasks fan out on the host-parallel backend.
+
+        In ``serial`` mode the operators below run their original
+        inline loops; in ``threads``/``processes`` mode the pure
+        per-partition work routes through the engine's
+        :class:`~repro.engines.scheduler.TaskScheduler` and *all*
+        cost charging and fault injection happens afterwards, in
+        deterministic partition order — which is what keeps
+        ``simulated_seconds``, injected fault schedules, and results
+        bit-identical across the three modes.
+        """
+        return self.engine.execution_mode != "serial"
+
+    def _udf_ref(self, compiled: _CompiledUdf) -> UdfRef:
+        """The shippable source form of a compiled UDF."""
+        return UdfRef(
+            compiled.fn.params, compiled.fn.body, dict(compiled.bindings)
+        )
+
+    def _run_stage(self, tasks: list[PartitionTask]) -> list[Any]:
+        """One scheduler fan-out; results come back in task order."""
+        scheduler = self.engine.scheduler
+        results = scheduler.run_stage(tasks, metrics=self.engine.metrics)
+        self._drain_scheduler_events(scheduler)
+        return results
+
+    def _drain_scheduler_events(self, scheduler: Any) -> None:
+        """Forward scheduler events (speculation, fallbacks) to spans."""
+        if not scheduler.events:
+            return
+        tracer = self.engine.tracer
+        if tracer is not None:
+            for name, attrs in scheduler.events:
+                tracer.event(name, ts=self.job.trace_ts(), **attrs)
+        scheduler.events.clear()
+
+    def _kernel_stage(
+        self,
+        kernel: ChainKernel,
+        partitions: list[list[Any]],
+        label: str = "",
+    ) -> list[Any]:
+        """Fan a chain kernel over partitions: ``[(rows, counts)]``."""
+        spec = KernelSpec(kernel.steps, prepared=kernel)
+        tasks = [
+            PartitionTask(i, spec, p, label)
+            for i, p in enumerate(partitions)
+        ]
+        return self._run_stage(tasks)
+
+    def _kernel_partitions(
+        self, comb: Combinator, source: PartitionedBag
+    ) -> list[list[Any]]:
+        """Run a narrow operator as parallel single-step kernel tasks.
+
+        The kernel computes exactly what the operator's serial loop
+        computes (PR 1's equivalence guarantee), and
+        :meth:`_charge_kernel` charges exactly what the serial loop
+        charges, so this path differs from serial only in wall-clock.
+        """
+        kernel = self._op_kernel(comb)
+        results = self._kernel_stage(
+            kernel, source.partitions, comb.label()
+        )
+        out: list[list[Any]] = []
+        for i, (p, (rows, counts)) in enumerate(
+            zip(source.partitions, results)
+        ):
+            self._charge_kernel(kernel, i, p, counts)
+            out.append(rows)
+        return out
+
     # -- leaves ---------------------------------------------------------------
 
     def _exec_source(self, comb: CSource) -> PartitionedBag:
@@ -285,8 +395,14 @@ class JobExecutor:
 
     def _exec_map(self, comb: CMap) -> PartitionedBag:
         source = self._exec(comb.input)
+        if self._parallel:
+            out = self._kernel_partitions(comb, source)
+            self.engine.metrics.udf_invocations += source.count()
+            return PartitionedBag(
+                out, self._map_output_partitioner(comb, source)
+            )
         fn, extra = self._compile_udf(comb.fn)
-        out: list[list[Any]] = []
+        out = []
         for i, p in enumerate(source.partitions):
             out.append([fn(x) for x in p])
             self._charge_cpu(i, len(p) * (1 + extra) + self._record_ops(p))
@@ -361,8 +477,12 @@ class JobExecutor:
 
     def _exec_flat_map(self, comb: CFlatMap) -> PartitionedBag:
         source = self._exec(comb.input)
+        if self._parallel:
+            out = self._kernel_partitions(comb, source)
+            self.engine.metrics.udf_invocations += source.count()
+            return PartitionedBag(out)
         fn, extra = self._compile_udf(comb.fn)
-        out: list[list[Any]] = []
+        out = []
         for i, p in enumerate(source.partitions):
             rows: list[Any] = []
             for x in p:
@@ -383,8 +503,13 @@ class JobExecutor:
 
     def _exec_filter(self, comb: CFilter) -> PartitionedBag:
         source = self._exec(comb.input)
+        if self._parallel:
+            out = self._kernel_partitions(comb, source)
+            self.engine.metrics.udf_invocations += source.count()
+            # Filtering preserves the partitioning of its input.
+            return PartitionedBag(out, source.partitioner)
         fn, extra = self._compile_udf(comb.predicate)
-        out: list[list[Any]] = []
+        out = []
         for i, p in enumerate(source.partitions):
             out.append([x for x in p if fn(x)])
             self._charge_cpu(i, len(p) * (1 + extra) + self._record_ops(p))
@@ -400,25 +525,40 @@ class JobExecutor:
         CFilter: FILTER,
     }
 
+    def _kernel_step(self, op: Combinator) -> KernelStep:
+        """One operator of a (possibly single-step) kernel."""
+        udf = op.predicate if isinstance(op, CFilter) else op.fn
+        compiled = self._udf_compilation(udf)
+        return KernelStep(
+            kind=self._STEP_KINDS[type(op)],
+            closure=compiled.closure,
+            extra=compiled.extra,
+            params=compiled.fn.params,
+            body=compiled.fn.body,
+            bindings=compiled.bindings,
+        )
+
     def _chain_kernel(self, comb: CChain) -> ChainKernel:
         """The compiled per-partition kernel for a chain (one per job)."""
         kernel = self._kernel_memo.get(id(comb))
         if kernel is None:
-            steps = []
-            for op in comb.ops:
-                udf = op.predicate if isinstance(op, CFilter) else op.fn
-                compiled = self._udf_compilation(udf)
-                steps.append(
-                    KernelStep(
-                        kind=self._STEP_KINDS[type(op)],
-                        closure=compiled.closure,
-                        extra=compiled.extra,
-                        params=compiled.fn.params,
-                        body=compiled.fn.body,
-                        bindings=compiled.bindings,
-                    )
-                )
-            kernel = build_chain_kernel(steps)
+            kernel = build_chain_kernel(
+                [self._kernel_step(op) for op in comb.ops]
+            )
+            self._kernel_memo[id(comb)] = kernel
+        return kernel
+
+    def _op_kernel(self, comb: Combinator) -> ChainKernel:
+        """A single-step kernel for a narrow operator (parallel modes).
+
+        Serial mode runs maps/filters/flat-maps as plain closure loops;
+        the parallel backend wraps the single operator in the same
+        generated-kernel machinery chains use, because that is what
+        makes it shippable to worker processes as source.
+        """
+        kernel = self._kernel_memo.get(id(comb))
+        if kernel is None:
+            kernel = build_chain_kernel([self._kernel_step(comb)])
             self._kernel_memo[id(comb)] = kernel
         return kernel
 
@@ -433,6 +573,24 @@ class JobExecutor:
         what the unfused operators would — minus the per-operator
         materialization: ``_record_ops`` is paid once per chain."""
         counts = kernel.run(partition, emit)
+        return self._charge_kernel(
+            kernel, partition_index, partition, counts
+        )
+
+    def _charge_kernel(
+        self,
+        kernel: ChainKernel,
+        partition_index: int,
+        partition: list[Any],
+        counts: tuple,
+    ) -> tuple[list[int], int]:
+        """Charge one completed kernel task from its counters alone.
+
+        Factored out of :meth:`_run_chain` so the parallel backend —
+        which gets ``counts`` back from a worker instead of running the
+        kernel inline — charges through the identical code path, in the
+        identical partition order.
+        """
         entered, emitted = kernel.entered_counts(len(partition), counts)
         ops = self._record_ops(partition)
         ci = 0
@@ -469,6 +627,25 @@ class JobExecutor:
         self._charge_chain_overheads(kernel)
         total_invocations = 0
         out: list[list[Any]] = []
+        if self._parallel:
+            results = self._kernel_stage(
+                kernel, source.partitions, comb.label()
+            )
+            for i, (p, (rows, counts)) in enumerate(
+                zip(source.partitions, results)
+            ):
+                entered, _emitted = self._charge_kernel(
+                    kernel, i, p, counts
+                )
+                out.append(rows)
+                total_invocations += sum(entered)
+            self.engine.metrics.udf_invocations += total_invocations
+            return PartitionedBag(
+                out,
+                source.partitioner
+                if comb.preserves_partitioning()
+                else None,
+            )
         for i, p in enumerate(source.partitions):
             rows: list[Any] = []
             entered, _emitted = self._run_chain(kernel, i, p, rows.append)
@@ -482,10 +659,38 @@ class JobExecutor:
 
     # -- shuffles ---------------------------------------------------------------
 
+    def _bucket_partitions(
+        self, bag: PartitionedBag, key_ir: ScalarFn, n_parts: int
+    ) -> list[list[list[Any]]]:
+        """Hash-bucket every partition as parallel scheduler tasks.
+
+        The per-record ``stable_hash`` is process-independent by
+        construction, so worker processes bucket records exactly as the
+        driver's serial loop would.
+        """
+        compiled = self._udf_compilation(key_ir)
+        spec = BucketSpec(
+            self._udf_ref(compiled), n_parts, prepared=compiled.closure
+        )
+        tasks = [
+            PartitionTask(i, spec, (p, n_parts), "shuffle-bucket")
+            for i, p in enumerate(bag.partitions)
+        ]
+        return self._run_stage(tasks)
+
     def shuffle_by_key(
-        self, bag: PartitionedBag, key_ir: ScalarFn
+        self,
+        bag: PartitionedBag,
+        key_ir: ScalarFn,
+        prebucketed: list[list[list[Any]]] | None = None,
     ) -> PartitionedBag:
-        """Hash-repartition ``bag`` on ``key_ir`` (no-op if already so)."""
+        """Hash-repartition ``bag`` on ``key_ir`` (no-op if already so).
+
+        ``prebucketed`` carries per-partition bucket lists computed
+        ahead of time (the overlapped join-side scan of
+        :meth:`_prebucket_pair`); merging them in input-partition order
+        reproduces the serial shuffle's record order exactly.
+        """
         tracer = self.engine.tracer
         if bag.partitioner is not None and bag.partitioner.matches(
             key_ir, bag.num_partitions
@@ -508,15 +713,22 @@ class JobExecutor:
             )
         key_fn, extra = self._compile_udf(key_ir)
         n_parts = self.parallelism
+        buckets = prebucketed
+        if buckets is None and self._parallel:
+            buckets = self._bucket_partitions(bag, key_ir, n_parts)
         new_partitions: list[list[Any]] = [[] for _ in range(n_parts)]
         total_moved = 0
         for i, p in enumerate(bag.partitions):
             if not p:
                 continue
             part_bytes = estimate_bag_bytes(p)
-            for record in p:
-                idx = hash_partition_index(key_fn(record), n_parts)
-                new_partitions[idx].append(record)
+            if buckets is None:
+                for record in p:
+                    idx = hash_partition_index(key_fn(record), n_parts)
+                    new_partitions[idx].append(record)
+            else:
+                for idx, records in enumerate(buckets[i]):
+                    new_partitions[idx].extend(records)
             self._charge_cpu(i, len(p) * (1 + extra))
             # Send side: assume an even spread of destinations.
             locality = (self.num_workers - 1) / max(self.num_workers, 1)
@@ -802,11 +1014,65 @@ class JobExecutor:
                 return hit, True
         return self._exec(child), False
 
+    def _prebucket_pair(
+        self,
+        left: PartitionedBag,
+        kx: ScalarFn,
+        right: PartitionedBag,
+        ky: ScalarFn,
+    ) -> tuple[list | None, list | None]:
+        """Overlap both repartition-join bucket scans in one task graph.
+
+        When *both* join sides genuinely need motion — i.e. the
+        physical planner left them ``required`` rather than elidable or
+        hoistable — their bucket stages have no dependency on each
+        other, so the scheduler runs the two fan-outs with all tasks in
+        flight simultaneously.  Aligned sides return ``None`` (their
+        shuffle elides inside :meth:`shuffle_by_key`).
+        """
+        if not (
+            self._parallel
+            and not self._aligned(left, kx)
+            and not self._aligned(right, ky)
+        ):
+            return None, None
+        n_parts = self.parallelism
+        lc = self._udf_compilation(kx)
+        rc = self._udf_compilation(ky)
+        lspec = BucketSpec(
+            self._udf_ref(lc), n_parts, prepared=lc.closure
+        )
+        rspec = BucketSpec(
+            self._udf_ref(rc), n_parts, prepared=rc.closure
+        )
+        ltasks = [
+            PartitionTask(i, lspec, (p, n_parts), "bucket-left")
+            for i, p in enumerate(left.partitions)
+        ]
+        rtasks = [
+            PartitionTask(i, rspec, (p, n_parts), "bucket-right")
+            for i, p in enumerate(right.partitions)
+        ]
+        scheduler = self.engine.scheduler
+        results = scheduler.run_graph(
+            [
+                TaskStage("left", lambda _r, _t=ltasks: _t),
+                TaskStage("right", lambda _r, _t=rtasks: _t),
+            ],
+            metrics=self.engine.metrics,
+        )
+        self._drain_scheduler_events(scheduler)
+        return results["left"], results["right"]
+
     def _shuffled_side(
-        self, child: Combinator, bag: PartitionedBag, key_ir: ScalarFn
+        self,
+        child: Combinator,
+        bag: PartitionedBag,
+        key_ir: ScalarFn,
+        prebucketed: list | None = None,
     ) -> PartitionedBag:
         """Shuffle a join/group input; store it when loop-invariant."""
-        shuffled = self.shuffle_by_key(bag, key_ir)
+        shuffled = self.shuffle_by_key(bag, key_ir, prebucketed)
         hkey = self._hoist_key(child, key_ir)
         if hkey is not None and hkey not in self.engine._hoist_cache:
             # Memory-resident, like the memory cache tier: one local
@@ -950,8 +1216,9 @@ class JobExecutor:
     def _exec_eq_join(self, comb: CEqJoin) -> PartitionedBag:
         left, lhoisted = self._resolve_side(comb.left, comb.kx)
         right, rhoisted = self._resolve_side(comb.right, comb.ky)
-        kx, ex = self._compile_udf(comb.kx)
-        ky, ey = self._compile_udf(comb.ky)
+        cx = self._udf_compilation(comb.kx)
+        cy = self._udf_compilation(comb.ky)
+        kx, ky = cx.closure, cy.closure
         lbytes, rbytes = left.nbytes(), right.nbytes()
         planned = (
             comb.phys is not None and self.engine.physical_planning
@@ -978,12 +1245,13 @@ class JobExecutor:
             self.engine.metrics.broadcast_joins += 1
             if rbytes <= lbytes:
                 small, big = right, left
-                ks, kb = ky, kx
+                cs, cb = cy, cx
                 small_first = False
             else:
                 small, big = left, right
-                ks, kb = kx, ky
+                cs, cb = cx, cy
                 small_first = True
+            ks, kb = cs.closure, cb.closure
             table: dict[Any, list[Any]] = {}
             small_records = small.collect()
             self.broadcast_value(small_records)
@@ -993,13 +1261,33 @@ class JobExecutor:
                 self.engine.cost.cpu_seconds(len(small_records))
             )
             out: list[list[Any]] = []
-            for i, p in enumerate(big.partitions):
-                rows: list[Any] = []
-                for x in p:
-                    for m in table.get(kb(x), ()):
-                        rows.append((m, x) if small_first else (x, m))
-                out.append(rows)
-                self._charge_cpu(i, len(p) + len(rows))
+            if self._parallel:
+                spec = BroadcastProbeSpec(
+                    small_records,
+                    self._udf_ref(cs),
+                    self._udf_ref(cb),
+                    small_first,
+                    prepared=(table, kb, small_first),
+                )
+                tasks = [
+                    PartitionTask(i, spec, p, "broadcast-join")
+                    for i, p in enumerate(big.partitions)
+                ]
+                for i, (p, rows) in enumerate(
+                    zip(big.partitions, self._run_stage(tasks))
+                ):
+                    out.append(rows)
+                    self._charge_cpu(i, len(p) + len(rows))
+            else:
+                for i, p in enumerate(big.partitions):
+                    rows: list[Any] = []
+                    for x in p:
+                        for m in table.get(kb(x), ()):
+                            rows.append(
+                                (m, x) if small_first else (x, m)
+                            )
+                    out.append(rows)
+                    self._charge_cpu(i, len(p) + len(rows))
             return PartitionedBag(
                 out,
                 self._pair_partitioner(
@@ -1008,11 +1296,37 @@ class JobExecutor:
             )
         # Repartition join.
         self.engine.metrics.repartition_joins += 1
+        lpre = rpre = None
+        if not lhoisted and not rhoisted:
+            lpre, rpre = self._prebucket_pair(
+                left, comb.kx, right, comb.ky
+            )
         if not lhoisted:
-            left = self._shuffled_side(comb.left, left, comb.kx)
+            left = self._shuffled_side(comb.left, left, comb.kx, lpre)
         if not rhoisted:
-            right = self._shuffled_side(comb.right, right, comb.ky)
+            right = self._shuffled_side(comb.right, right, comb.ky, rpre)
         out = []
+        if self._parallel:
+            spec = JoinProbeSpec(
+                self._udf_ref(cx), self._udf_ref(cy), prepared=(kx, ky)
+            )
+            tasks = [
+                PartitionTask(i, spec, (lp, rp), "join-probe")
+                for i, (lp, rp) in enumerate(
+                    zip(left.partitions, right.partitions)
+                )
+            ]
+            for i, ((lp, rp), rows) in enumerate(
+                zip(
+                    zip(left.partitions, right.partitions),
+                    self._run_stage(tasks),
+                )
+            ):
+                out.append(rows)
+                self._charge_cpu(i, len(lp) + len(rp) + len(rows))
+            return PartitionedBag(
+                out, self._pair_partitioner(left.partitioner, 0)
+            )
         for i, (lp, rp) in enumerate(
             zip(left.partitions, right.partitions)
         ):
@@ -1032,8 +1346,9 @@ class JobExecutor:
     def _exec_semi_join(self, comb: CSemiJoin) -> PartitionedBag:
         left, lhoisted = self._resolve_side(comb.left, comb.kx)
         right, rhoisted = self._resolve_side(comb.right, comb.ky)
-        kx, _ = self._compile_udf(comb.kx)
-        ky, _ = self._compile_udf(comb.ky)
+        cx = self._udf_compilation(comb.kx)
+        cy = self._udf_compilation(comb.ky)
+        kx, ky = cx.closure, cy.closure
         lbytes, rbytes = left.nbytes(), right.nbytes()
         planned = (
             comb.phys is not None and self.engine.physical_planning
@@ -1056,6 +1371,23 @@ class JobExecutor:
             for i, p in enumerate(right.partitions):
                 self._charge_cpu(i, len(p))
             out: list[list[Any]] = []
+            if self._parallel:
+                spec = BroadcastSemiSpec(
+                    list(keys),
+                    self._udf_ref(cx),
+                    comb.anti,
+                    prepared=(keys, kx, comb.anti),
+                )
+                tasks = [
+                    PartitionTask(i, spec, p, "broadcast-semi")
+                    for i, p in enumerate(left.partitions)
+                ]
+                for i, (p, rows) in enumerate(
+                    zip(left.partitions, self._run_stage(tasks))
+                ):
+                    out.append(rows)
+                    self._charge_cpu(i, len(p))
+                return PartitionedBag(out, left.partitioner)
             for i, p in enumerate(left.partitions):
                 if comb.anti:
                     rows = [x for x in p if kx(x) not in keys]
@@ -1071,11 +1403,38 @@ class JobExecutor:
         # join whose probe side is deduplicated per key).  A side that
         # already carries the matching partitioning is not moved, which
         # is what partition pulling exploits.
+        lpre = rpre = None
+        if not lhoisted and not rhoisted:
+            lpre, rpre = self._prebucket_pair(
+                left, comb.kx, right, comb.ky
+            )
         if not lhoisted:
-            left = self._shuffled_side(comb.left, left, comb.kx)
+            left = self._shuffled_side(comb.left, left, comb.kx, lpre)
         if not rhoisted:
-            right = self._shuffled_side(comb.right, right, comb.ky)
+            right = self._shuffled_side(comb.right, right, comb.ky, rpre)
         out = []
+        if self._parallel:
+            spec = SemiProbeSpec(
+                self._udf_ref(cx),
+                self._udf_ref(cy),
+                comb.anti,
+                prepared=(kx, ky, comb.anti),
+            )
+            tasks = [
+                PartitionTask(i, spec, (lp, rp), "semi-probe")
+                for i, (lp, rp) in enumerate(
+                    zip(left.partitions, right.partitions)
+                )
+            ]
+            for i, ((lp, rp), rows) in enumerate(
+                zip(
+                    zip(left.partitions, right.partitions),
+                    self._run_stage(tasks),
+                )
+            ):
+                out.append(rows)
+                self._charge_cpu(i, len(lp) + len(rp))
+            return PartitionedBag(out, left.partitioner)
         for i, (lp, rp) in enumerate(
             zip(left.partitions, right.partitions)
         ):
@@ -1114,17 +1473,29 @@ class JobExecutor:
     # -- grouping / aggregation ------------------------------------------------------
 
     def _exec_group_by(self, comb: CGroupBy) -> PartitionedBag:
-        key_fn, extra = self._compile_udf(comb.key)
+        compiled = self._udf_compilation(comb.key)
+        key_fn, extra = compiled.closure, compiled.extra
         shuffled = self._shuffled_input(comb.input, comb.key)
         factor = self.engine.group_materialize_factor
         out: list[list[Any]] = []
+        group_rows: list[list[Any]] | None = None
+        if self._parallel:
+            spec = GroupSpec(self._udf_ref(compiled), prepared=key_fn)
+            tasks = [
+                PartitionTask(i, spec, p, "group")
+                for i, p in enumerate(shuffled.partitions)
+            ]
+            group_rows = self._run_stage(tasks)
         for i, p in enumerate(shuffled.partitions):
-            groups: dict[Any, list[Any]] = {}
-            for x in p:
-                groups.setdefault(key_fn(x), []).append(x)
-            out.append(
-                [Grp(k, DataBag(vs)) for k, vs in groups.items()]
-            )
+            if group_rows is not None:
+                out.append(group_rows[i])
+            else:
+                groups: dict[Any, list[Any]] = {}
+                for x in p:
+                    groups.setdefault(key_fn(x), []).append(x)
+                out.append(
+                    [Grp(k, DataBag(vs)) for k, vs in groups.items()]
+                )
             ops = len(p) * (1 + extra) * factor
             if self.engine.group_spill_to_disk and len(p) > 1:
                 # Sort-based grouping costs n log n, not n.
@@ -1177,7 +1548,8 @@ class JobExecutor:
         else:
             source = self._exec(comb.input)
             kernel = None
-        key_fn, key_extra = self._compile_udf(comb.key)
+        ckey = self._udf_compilation(comb.key)
+        key_fn, key_extra = ckey.closure, ckey.extra
         spec_names: frozenset[str] = frozenset()
         for spec in comb.specs:
             spec_names |= spec.free_vars()
@@ -1203,34 +1575,62 @@ class JobExecutor:
         # Phase 1: mapper-side partial aggregation.
         chain_invocations = 0
         partials: list[list[tuple[Any, tuple]]] = []
-        for i, p in enumerate(source.partitions):
-            acc: dict[Any, list[Any]] = {}
-
-            def accumulate(x: Any) -> None:
-                k = key_fn(x)
-                entry = acc.get(k)
-                if entry is None:
-                    acc[k] = [
-                        a.union(a.zero(), a.singleton(x))
-                        for a in algebras
-                    ]
-                else:
-                    for j, a in enumerate(algebras):
-                        entry[j] = a.union(entry[j], a.singleton(x))
-
-            if kernel is None:
-                for x in p:
-                    accumulate(x)
-                n_agg_inputs = len(p)
-            else:
-                entered, n_agg_inputs = self._run_chain(
-                    kernel, i, p, accumulate
-                )
-                chain_invocations += sum(entered)
-            partials.append([(k, tuple(v)) for k, v in acc.items()])
-            self._charge_cpu(
-                i, n_agg_inputs * (len(algebras) + extra) + len(acc)
+        if self._parallel:
+            mspec = AggMapSpec(
+                self._udf_ref(ckey),
+                comb.specs,
+                bindings,
+                steps=kernel.steps if kernel is not None else None,
+                prepared=(kernel, key_fn, algebras),
             )
+            tasks = [
+                PartitionTask(i, mspec, p, "agg-map")
+                for i, p in enumerate(source.partitions)
+            ]
+            for i, (p, (pairs, counts)) in enumerate(
+                zip(source.partitions, self._run_stage(tasks))
+            ):
+                if kernel is None:
+                    n_agg_inputs = len(p)
+                else:
+                    entered, n_agg_inputs = self._charge_kernel(
+                        kernel, i, p, counts
+                    )
+                    chain_invocations += sum(entered)
+                partials.append(pairs)
+                self._charge_cpu(
+                    i,
+                    n_agg_inputs * (len(algebras) + extra) + len(pairs),
+                )
+        else:
+            for i, p in enumerate(source.partitions):
+                acc: dict[Any, list[Any]] = {}
+
+                def accumulate(x: Any) -> None:
+                    k = key_fn(x)
+                    entry = acc.get(k)
+                    if entry is None:
+                        acc[k] = [
+                            a.union(a.zero(), a.singleton(x))
+                            for a in algebras
+                        ]
+                    else:
+                        for j, a in enumerate(algebras):
+                            entry[j] = a.union(entry[j], a.singleton(x))
+
+                if kernel is None:
+                    for x in p:
+                        accumulate(x)
+                    n_agg_inputs = len(p)
+                else:
+                    entered, n_agg_inputs = self._run_chain(
+                        kernel, i, p, accumulate
+                    )
+                    chain_invocations += sum(entered)
+                partials.append([(k, tuple(v)) for k, v in acc.items()])
+                self._charge_cpu(
+                    i, n_agg_inputs * (len(algebras) + extra) + len(acc)
+                )
         if kernel is not None:
             self.engine.metrics.udf_invocations += chain_invocations
         partial_bag = PartitionedBag(
@@ -1258,6 +1658,24 @@ class JobExecutor:
             )
         # Phase 3: reducer-side merge.
         out: list[list[Any]] = []
+        if self._parallel:
+            rspec = AggMergeSpec(
+                comb.specs, bindings, prepared=tuple(algebras)
+            )
+            tasks = [
+                PartitionTask(i, rspec, p, "agg-merge")
+                for i, p in enumerate(partial_bag.partitions)
+            ]
+            for i, (p, rows) in enumerate(
+                zip(partial_bag.partitions, self._run_stage(tasks))
+            ):
+                out.append(rows)
+                self._charge_cpu(
+                    i, len(p) * len(algebras) + len(rows)
+                )
+            return PartitionedBag(
+                out, _grp_partitioner(partial_bag, "key")
+            )
         for i, p in enumerate(partial_bag.partitions):
             merged: dict[Any, list[Any]] = {}
             for k, accs in p:
@@ -1349,9 +1767,19 @@ class JobExecutor:
         bindings, extra = self._udf_bindings(comb.spec.free_vars())
         algebra = comb.spec.make_algebra(Env.of(bindings))
         partial_values: list[Any] = []
-        for i, p in enumerate(source.partitions):
-            partial_values.append(algebra(p))
-            self._charge_cpu(i, len(p) * (1 + extra))
+        if self._parallel:
+            fspec = FoldSpec(comb.spec, bindings, prepared=algebra)
+            tasks = [
+                PartitionTask(i, fspec, p, "fold")
+                for i, p in enumerate(source.partitions)
+            ]
+            partial_values = self._run_stage(tasks)
+            for i, p in enumerate(source.partitions):
+                self._charge_cpu(i, len(p) * (1 + extra))
+        else:
+            for i, p in enumerate(source.partitions):
+                partial_values.append(algebra(p))
+                self._charge_cpu(i, len(p) * (1 + extra))
         nbytes = sum(
             estimate_record_bytes(v) for v in partial_values
         )

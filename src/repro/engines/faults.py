@@ -34,7 +34,15 @@ plus each state-partition update of a
 Determinism: every decision is a pure function of the plan's ``seed``
 and the injector's monotonically increasing task counter (via
 :func:`~repro.engines.cluster.stable_hash`), so a given program on a
-given engine sees the exact same fault schedule on every run.
+given engine sees the exact same fault schedule on every run.  This
+holds under the host-parallel execution backend too: the
+:class:`~repro.engines.executor.JobExecutor` fires ``on_task`` from its
+driver-side charging loops, which walk partitions in ascending index
+order *after* the :mod:`~repro.engines.scheduler` has collected the
+(out-of-order, possibly multi-process) task results — the task counter
+advances by logical task coordinate, never by wall-clock completion
+order, so serial, threaded, and process-pool runs draw identical fault
+schedules.
 """
 
 from __future__ import annotations

@@ -91,6 +91,28 @@ class Metrics:
     #: simulated seconds spent on retries, recomputation, and restores
     recovery_seconds: float = 0.0
 
+    # -- host-parallel execution backend -----------------------------------
+    #: *measured* host wall-clock seconds across jobs — the one metric
+    #: that may legitimately differ between execution modes (and between
+    #: runs); everything else above stays bit-identical
+    wall_clock_seconds: float = 0.0
+    #: partition tasks executed through the task scheduler
+    parallel_tasks: int = 0
+    #: scheduler stage launches (one per fan-out of partition tasks)
+    parallel_stages: int = 0
+    #: pickled bytes shipped to worker processes (task specs + data)
+    ipc_bytes_shipped: int = 0
+    #: pickled bytes returned from worker processes (task results)
+    ipc_bytes_returned: int = 0
+    #: kernels/UDFs rebuilt from source in a worker process (memo miss)
+    kernels_rehydrated: int = 0
+    #: straggler tasks speculatively re-launched
+    speculative_launches: int = 0
+    #: speculative copies that beat the original attempt
+    speculative_wins: int = 0
+    #: parallel stages that fell back to in-process serial execution
+    serial_fallbacks: int = 0
+
     def snapshot(self) -> "Metrics":
         """A copy of the current counters (for before/after deltas)."""
         return Metrics(**vars(self))
@@ -119,6 +141,16 @@ class Metrics:
                 f" elided={self.shuffles_elided} "
                 f"hoisted={self.shuffles_hoisted} "
                 f"adaptive={self.adaptive_switches}"
+            )
+        if self.parallel_tasks:
+            base += (
+                f" | ptasks={self.parallel_tasks} "
+                f"wall={self.wall_clock_seconds:.3f}s "
+                f"ipc={_fmt_bytes(self.ipc_bytes_shipped)}/"
+                f"{_fmt_bytes(self.ipc_bytes_returned)} "
+                f"spec={self.speculative_launches}"
+                f"({self.speculative_wins} won) "
+                f"fallbacks={self.serial_fallbacks}"
             )
         if self.recovery_happened:
             base += " | " + self.recovery_summary()
@@ -179,6 +211,9 @@ class JobRun:
         self.start_ts = start_ts
         #: the job's trace span when tracing is enabled
         self.span = None
+        #: host ``perf_counter`` at job start, for the *measured*
+        #: ``wall_clock_seconds`` (distinct from the simulated clock)
+        self.wall_started = 0.0
 
     def charge_worker(self, worker: int, seconds: float) -> None:
         """Add busy time to one worker (index wraps)."""

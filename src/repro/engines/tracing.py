@@ -431,6 +431,7 @@ def _span_stats(span: TraceSpan) -> str:
         "keys",
         "messages",
         "updated",
+        "wall_clock_seconds",
     ):
         if key in span.attrs:
             value = span.attrs[key]

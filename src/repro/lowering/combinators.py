@@ -486,8 +486,16 @@ _MOTION_MARKERS = {
 }
 
 
-def explain(root: Combinator, indent: int = 0) -> str:
-    """Render a combinator tree as an indented plan, one node per line."""
+def explain(
+    root: Combinator, indent: int = 0, task_width: int | None = None
+) -> str:
+    """Render a combinator tree as an indented plan, one node per line.
+
+    With ``task_width`` (the scheduler's concurrent-slot count under a
+    non-serial execution mode), stage-forming nodes — fused chains and
+    shuffle sites — additionally carry a ``[tasks<=N]`` marker showing
+    how wide their partition tasks may fan out on the host.
+    """
     flags = []
     if root.cache:
         flags.append("cached")
@@ -499,9 +507,14 @@ def explain(root: Combinator, indent: int = 0) -> str:
     marker = ""
     if root.phys is not None and root.phys.motion is not None:
         marker = " " + _MOTION_MARKERS[root.phys.motion]
-    lines = ["  " * indent + root.describe() + marker + suffix]
+    described = root.describe()
+    if task_width is not None and (
+        described.startswith("Chain[") or marker
+    ):
+        marker += f" [tasks<={task_width}]"
+    lines = ["  " * indent + described + marker + suffix]
     for child in root.inputs():
-        lines.append(explain(child, indent + 1))
+        lines.append(explain(child, indent + 1, task_width=task_width))
     return "\n".join(lines)
 
 

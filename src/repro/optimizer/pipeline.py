@@ -42,6 +42,10 @@ from repro.comprehension.ir import BAG, Comprehension
 from repro.comprehension.normalize import NormalizeStats, normalize
 from repro.comprehension.resugar import resugar
 from repro.engines.faults import FaultPlan, RetryPolicy
+from repro.engines.scheduler import (
+    default_execution_mode,
+    default_max_parallel_tasks,
+)
 from repro.engines.sizes import estimate_bag_bytes
 from repro.engines.tracing import CompileTrace
 from repro.errors import EmmaError
@@ -110,6 +114,20 @@ class EmmaConfig:
     #: ``Algorithm.run`` then returns a :class:`~repro.engines.tracing.
     #: TracedRun` instead of the bare result
     tracing: bool = False
+    #: host-parallel partition-task backend: "serial" (inline loops),
+    #: "threads", or "processes" (true multi-core via source-shipped
+    #: chain kernels); results and ``simulated_seconds`` stay
+    #: bit-identical across modes — only measured wall clock changes.
+    #: Defaults honour ``REPRO_EXECUTION_MODE`` so CI can run whole
+    #: suites under the parallel backend.
+    execution_mode: str = field(default_factory=default_execution_mode)
+    #: concurrent partition-task slots (0 = one per host CPU core);
+    #: default honours ``REPRO_MAX_PARALLEL_TASKS``
+    max_parallel_tasks: int = field(
+        default_factory=default_max_parallel_tasks
+    )
+    #: re-launch straggler partition tasks (first result wins)
+    speculative_execution: bool = True
 
     @staticmethod
     def none() -> "EmmaConfig":
@@ -281,12 +299,23 @@ class CompiledProgram:
         from repro.comprehension.pretty import pretty
 
         blocks = []
+        task_width = None
+        if self.report.config.execution_mode != "serial":
+            import os
+
+            task_width = self.report.config.max_parallel_tasks or (
+                os.cpu_count() or 1
+            )
+            blocks.append(
+                f"-- execution: mode={self.report.config.execution_mode}"
+                f" max-task-width={task_width} --"
+            )
         for i, (expr, plan, in_loop) in enumerate(self.sites):
             suffix = " (in loop)" if in_loop else ""
             lines = [f"-- site {i}{suffix} --"]
             if comprehensions:
                 lines.append(f"view: {pretty(expr)}")
-            lines.append(explain(plan))
+            lines.append(explain(plan, task_width=task_width))
             blocks.append("\n".join(lines))
         if trace and self.trace is not None:
             blocks.append(self.trace.render())

@@ -28,6 +28,12 @@ class Vec:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Vec is immutable")
 
+    def __reduce__(self) -> tuple:
+        """Pickle by reconstruction: the blocking ``__setattr__`` above
+        defeats the default slot-state protocol, and vectors must cross
+        process boundaries under ``execution_mode="processes"``."""
+        return (Vec, (self.components,))
+
     @staticmethod
     def zeros(dim: int) -> "Vec":
         return Vec((0.0,) * dim)

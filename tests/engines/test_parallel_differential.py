@@ -1,0 +1,176 @@
+"""Differential suite for the host-parallel execution backend.
+
+The backbone guarantee of :mod:`repro.engines.scheduler` is that the
+execution mode is *observably irrelevant*: for any workload — including
+one under aggressive fault injection — serial, threaded, and
+process-pool execution must produce bit-identical results, identical
+``simulated_seconds``, and identical fault/recovery schedules.  Only
+the measured ``wall_clock_seconds`` (and the parallel-backend counters
+themselves) may differ.
+"""
+
+import pytest
+
+from repro.engines.cluster import ClusterConfig
+from repro.engines.dfs import SimulatedDFS
+from repro.engines.faults import FaultPlan
+from repro.engines.sparklike import SparkLikeEngine
+from repro.workloads import datagen, graphs
+from repro.workloads.kmeans import initial_centroids, kmeans
+from repro.workloads.pagerank import pagerank
+from repro.workloads.tpch import stage_tpch, tpch_q1, tpch_q4
+
+MODES = ("serial", "threads", "processes")
+
+#: Metrics fields allowed to differ between execution modes: the
+#: measured wall clock and the parallel backend's own accounting.
+_MODE_DEPENDENT = {
+    "wall_clock_seconds",
+    "parallel_tasks",
+    "parallel_stages",
+    "ipc_bytes_shipped",
+    "ipc_bytes_returned",
+    "kernels_rehydrated",
+    "speculative_launches",
+    "speculative_wins",
+    "serial_fallbacks",
+}
+
+
+@pytest.fixture(scope="module")
+def world():
+    """Small staged datasets shared by every differential case."""
+    dfs = SimulatedDFS()
+    graph_path = graphs.stage_follower_graph(dfs, num_vertices=48)
+    points_path = datagen.stage_points(dfs, n=90, centers=3, dim=2)
+    orders_path, lineitem_path = stage_tpch(dfs, sf=0.05)
+    return {
+        "dfs": dfs,
+        "graph": graph_path,
+        "points": points_path,
+        "orders": orders_path,
+        "lineitem": lineitem_path,
+    }
+
+
+def _engine(world, mode, fault_plan=None):
+    return SparkLikeEngine(
+        cluster=ClusterConfig(num_workers=4),
+        dfs=world["dfs"],
+        execution_mode=mode,
+        max_parallel_tasks=2,
+        fault_plan=fault_plan,
+    )
+
+
+def _invariant_metrics(engine) -> dict:
+    """Every counter that must not depend on the execution mode."""
+    return {
+        name: value
+        for name, value in vars(engine.metrics).items()
+        if name not in _MODE_DEPENDENT
+    }
+
+
+def _run_all_modes(world, algo, fault_plan=None, **params):
+    """Run ``algo`` under every mode; assert bit-identical outcomes.
+
+    Results are compared by exact ``repr`` in collection order (not
+    sorted): the deterministic by-index merge must reproduce the serial
+    record order, not merely the same multiset.
+    """
+    outcomes = {}
+    for mode in MODES:
+        # FaultPlan is a frozen dataclass; each engine builds its own
+        # injector from it, so sharing the plan across modes is safe.
+        engine = _engine(world, mode, fault_plan=fault_plan)
+        result = algo.run(engine, **params)
+        records = result.fetch() if hasattr(result, "fetch") else result
+        outcomes[mode] = (
+            [repr(r) for r in records],
+            _invariant_metrics(engine),
+            engine.metrics,
+        )
+    base_records, base_metrics, _ = outcomes["serial"]
+    for mode in ("threads", "processes"):
+        records, metrics, raw = outcomes[mode]
+        assert records == base_records, f"{mode} diverged from serial"
+        assert metrics == base_metrics, f"{mode} metrics diverged"
+        assert raw.parallel_tasks > 0
+        assert raw.serial_fallbacks == 0
+    return outcomes
+
+
+class TestWorkloadsBitIdentical:
+    def test_pagerank(self, world):
+        n = len(world["dfs"].get(world["graph"]).records)
+        _run_all_modes(
+            world,
+            pagerank,
+            graph_path=world["graph"],
+            num_pages=n,
+            max_iterations=3,
+        )
+
+    def test_kmeans(self, world):
+        init = initial_centroids(
+            world["dfs"].get(world["points"]).records, 3
+        )
+        _run_all_modes(
+            world,
+            kmeans,
+            points_path=world["points"],
+            initial=init,
+            epsilon=1e-6,
+            max_iterations=4,
+        )
+
+    def test_tpch_q1(self, world):
+        _run_all_modes(
+            world,
+            tpch_q1,
+            lineitem_path=world["lineitem"],
+            ship_date_max="1996-12-01",
+        )
+
+    def test_tpch_q4(self, world):
+        _run_all_modes(
+            world,
+            tpch_q4,
+            orders_path=world["orders"],
+            lineitem_path=world["lineitem"],
+            date_min="1995-01-01",
+            date_max="1996-07-01",
+        )
+
+
+class TestFaultedRunsBitIdentical:
+    """Fault schedules draw from the monotone task counter, which the
+    driver advances in partition order after each parallel stage — so
+    injected chaos must land identically in every mode."""
+
+    def test_pagerank_under_aggressive_faults(self, world):
+        n = len(world["dfs"].get(world["graph"]).records)
+        outcomes = _run_all_modes(
+            world,
+            pagerank,
+            fault_plan=FaultPlan.aggressive(seed=23),
+            graph_path=world["graph"],
+            num_pages=n,
+            max_iterations=3,
+        )
+        _, metrics, _ = outcomes["serial"]
+        assert metrics["tasks_retried"] > 0
+        assert metrics["workers_lost"] > 0
+        assert metrics["stragglers_injected"] > 0
+
+    def test_tpch_q1_under_aggressive_faults(self, world):
+        outcomes = _run_all_modes(
+            world,
+            tpch_q1,
+            fault_plan=FaultPlan.aggressive(seed=5),
+            lineitem_path=world["lineitem"],
+            ship_date_max="1996-12-01",
+        )
+        _, metrics, _ = outcomes["serial"]
+        assert metrics["tasks_retried"] > 0

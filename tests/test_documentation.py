@@ -130,7 +130,11 @@ class TestRepositoryDocuments:
 # Executable snippets
 # ---------------------------------------------------------------------------
 
-SNIPPET_DOCS = ("README.md", "docs/observability.md")
+SNIPPET_DOCS = (
+    "README.md",
+    "docs/observability.md",
+    "docs/parallel_execution.md",
+)
 
 
 def _python_blocks(text: str) -> list[str]:
