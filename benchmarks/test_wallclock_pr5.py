@@ -12,15 +12,18 @@ this benchmark measures the *host* clock.  Two workloads run under
 
 Both must be **bit-identical** across modes with zero serial
 fallbacks, on any machine.  The speedup assertions are gated on the
-host actually having cores to parallelize over (``os.cpu_count() >=
-4``): on a 1–2 core runner the process pool cannot beat the serial
-loop and the numbers are recorded without being enforced.  Results are
-exported to ``BENCH_pr5.json`` in CI.
+host actually having cores to parallelize over (at least 4 CPUs
+*available to this process* — affinity-aware via
+``os.process_cpu_count`` where Python provides it): on a 1–2 core
+runner the process pool cannot beat the serial loop, so the identity
+assertions still run and the test then **skips visibly** instead of
+vacuously passing.  Results are exported to ``BENCH_pr5.json`` in CI.
 """
 
 import os
 import time
 
+import pytest
 from conftest import run_once
 
 from repro.comprehension.exprs import BinOp, Compare, Const, Ref
@@ -32,11 +35,26 @@ from repro.lowering.combinators import CBagRef, CFilter, CMap, ScalarFn
 from repro.workloads import graphs
 from repro.workloads.pagerank import pagerank
 
-HOST_CPUS = os.cpu_count() or 1
+#: CPUs usable by *this process* (cgroup/affinity-aware on 3.13+;
+#: ``os.cpu_count`` is the best available answer before that)
+HOST_CPUS = getattr(os, "process_cpu_count", os.cpu_count)() or 1
 #: concurrent task slots given to the processes mode
 WIDTH = min(8, HOST_CPUS)
 #: whether the wall-clock speedup assertions are enforced on this host
 ENFORCE_SPEEDUP = HOST_CPUS >= 4
+
+
+def _skip_unless_enforced() -> None:
+    """Skip (visibly, not vacuously pass) on hosts too narrow to gate.
+
+    Called *after* the bit-identity assertions so correctness is always
+    checked; only the wall-clock speedup threshold needs real cores.
+    """
+    if not ENFORCE_SPEEDUP:
+        pytest.skip(
+            f"host exposes {HOST_CPUS} usable CPUs (< 4): wall-clock "
+            "speedup recorded but not enforced"
+        )
 
 
 def _engine(dfs, mode, num_workers=8):
@@ -130,8 +148,8 @@ def test_kernel_loop_processes_wall_clock(benchmark):
     assert stats["identical"], "processes mode changed kernel results"
     assert stats["processes_fallbacks"] == 0
     assert stats["serial_simulated"] == stats["processes_simulated"]
-    if ENFORCE_SPEEDUP:
-        assert speedup >= 1.5
+    _skip_unless_enforced()
+    assert speedup >= 1.5
 
 
 # ---------------------------------------------------------------------------
@@ -180,5 +198,5 @@ def test_pagerank_processes_wall_clock(benchmark):
     assert stats["serial_simulated"] == stats["processes_simulated"]
     # ... while the measured wall-clock metric tracks the host run.
     assert stats["processes_wall_metric"] > 0.0
-    if ENFORCE_SPEEDUP:
-        assert speedup >= 2.0
+    _skip_unless_enforced()
+    assert speedup >= 2.0

@@ -183,6 +183,11 @@ class Engine:
     max_parallel_tasks = 0
     #: re-launch straggler tasks speculatively (first result wins)
     speculative_execution = True
+    #: columnar batch data plane for optimizer-selected chains:
+    #: "auto" (vectorize when numpy is available), "on" (force, with
+    #: the pure-Python column fallback), or "off"; results and
+    #: ``simulated_seconds`` are bit-identical in every mode
+    columnar_mode = "auto"
 
     def __init__(
         self,
@@ -196,6 +201,7 @@ class Engine:
         execution_mode: str | None = None,
         max_parallel_tasks: int | None = None,
         speculative_execution: bool = True,
+        columnar: str | None = None,
     ) -> None:
         self.cluster = cluster or ClusterConfig()
         self.cost = cost or CostModel()
@@ -222,6 +228,14 @@ class Engine:
         #: keyed by (node id, canonical key, parallelism, input handle
         #: identities); cleared by :meth:`begin_run` and on worker loss
         self._hoist_cache: dict[tuple, PartitionedBag] = {}
+        #: columnar-at-rest batch cache: per source bag (weak, so
+        #: batches die with the bag), keyed by schema + projection and
+        #: stamped with the partition-list identities/lengths so any
+        #: partition replacement (e.g. lineage recovery) invalidates.
+        #: Purely a packing-cost cache — hits change no observable.
+        self._batch_cache: "weakref.WeakKeyDictionary[PartitionedBag, tuple]" = (
+            weakref.WeakKeyDictionary()
+        )
         #: per-run observed cardinalities/bytes for adaptive re-checks
         self.stats = StatsCache()
         #: lazily built host-parallel task scheduler (see ``scheduler``)
@@ -242,6 +256,22 @@ class Engine:
             else default_max_parallel_tasks(),
             speculative_execution,
         )
+        from repro.engines.columnar import default_columnar_mode
+
+        self.configure_columnar(
+            columnar if columnar is not None else default_columnar_mode()
+        )
+
+    def configure_columnar(self, mode: str) -> None:
+        """Select the columnar data plane mode (``auto``/``on``/``off``)."""
+        from repro.engines.columnar import COLUMNAR_MODES
+
+        if mode not in COLUMNAR_MODES:
+            raise EngineError(
+                f"unknown columnar mode {mode!r}: expected one of "
+                f"{', '.join(COLUMNAR_MODES)}"
+            )
+        self.columnar_mode = mode
 
     # -- host-parallel execution backend ----------------------------------
 
@@ -336,6 +366,8 @@ class Engine:
                 config.max_parallel_tasks,
                 config.speculative_execution,
             )
+        if config.columnar != self.columnar_mode:
+            self.configure_columnar(config.columnar)
 
     def begin_run(self) -> None:
         """Reset per-run planner state (hoist cache, statistics).
@@ -619,6 +651,11 @@ class Engine:
                 job_index=index,
                 workers=self.cluster.num_workers,
             )
+        job.columnar_start = (
+            self.metrics.columnar_batches_built,
+            self.metrics.columnar_kernels,
+            self.metrics.columnar_fallbacks,
+        )
         job.wall_started = time.perf_counter()
         return job
 
@@ -632,6 +669,21 @@ class Engine:
         wall = time.perf_counter() - job.wall_started
         self.metrics.wall_clock_seconds += wall
         if self.tracer is not None and job.span is not None:
+            extra: dict[str, Any] = {}
+            batches = (
+                self.metrics.columnar_batches_built
+                - job.columnar_start[0]
+            )
+            kernels = (
+                self.metrics.columnar_kernels - job.columnar_start[1]
+            )
+            fallbacks = (
+                self.metrics.columnar_fallbacks - job.columnar_start[2]
+            )
+            if batches or kernels or fallbacks:
+                extra["columnar_batches"] = batches
+                extra["columnar_kernels"] = kernels
+                extra["columnar_fallbacks"] = fallbacks
             self.tracer.end_at_duration(
                 job.span,
                 job_time,
@@ -639,6 +691,7 @@ class Engine:
                 busy_seconds=round(max(job.worker_seconds, default=0.0), 9),
                 driver_seconds=round(job.driver_seconds, 9),
                 wall_clock_seconds=round(wall, 6),
+                **extra,
             )
         if (
             self.time_budget is not None

@@ -46,12 +46,42 @@ lets :mod:`repro.engines.scheduler` ship chain kernels to a
 
 from __future__ import annotations
 
+import dataclasses
+import math
 import re
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
-from repro.comprehension.exprs import Expr, NativeCodegen, NotCompilable
+from repro.comprehension.exprs import (
+    Attr,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Const,
+    Env,
+    Expr,
+    Index,
+    NativeCodegen,
+    NotCompilable,
+    Ref,
+    TupleExpr,
+    UnaryOp,
+)
 from repro.core.databag import DataBag
+from repro.engines.columnar import (
+    ColumnBatch,
+    ColumnSchema,
+    _dataclass_schema,
+    as_mask,
+    as_vector,
+    broadcast,
+    mask_and,
+    mask_count,
+    mask_not,
+    mask_or,
+    select_column,
+)
 
 #: step kinds, matching the narrow combinators they come from
 MAP, FILTER, FLATMAP = "map", "filter", "flatmap"
@@ -262,4 +292,592 @@ def build_chain_kernel(steps: Sequence[KernelStep]) -> ChainKernel:
     exec(code, namespace)  # noqa: S102 - compiler-generated source
     return ChainKernel(
         steps, namespace["_chain_kernel"], inlined, source=source
+    )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized (batch-at-a-time) kernels
+# ---------------------------------------------------------------------------
+#
+# When every UDF of a chain is in the vectorizable subset below, the
+# chain compiles to a *batch* kernel over a ColumnBatch: maps become
+# whole-column expressions, filters become selection masks, and the
+# per-record Python loop disappears.  For
+# ``Chain[Filter(p) -> Map(f)]`` over a dataclass batch the generated
+# source looks like::
+#
+#     def _vector_kernel(_cols, _n):
+#         _c2 = _vcol(_cols[2])
+#         _c5 = _vcol(_cols[5])
+#         _m0 = _vmask((_c5 <= _cv0), _n)
+#         _k0 = _vcount(_m0)
+#         _c2 = _vsel(_c2, _m0)
+#         _n = _k0
+#         _v0 = (_c2 * 2.0)
+#         return ((_v0,), _n, (_k0,))
+#
+# The counts tuple has exactly the shape and values of the row
+# kernel's, so the executor charges the cost model identically — the
+# vector path changes wall clock and bytes, never ``simulated_seconds``
+# or results.
+
+#: operators with element-wise semantics identical to Python's
+_VEC_BIN = frozenset({"+", "-", "*", "/", "//", "%"})
+#: division-like operators: only safe with a constant nonzero divisor
+#: (a zero divisor must raise exactly where the row kernel raises)
+_VEC_DIV = frozenset({"/", "//", "%"})
+_VEC_CMP = frozenset({"==", "!=", "<", "<=", ">", ">="})
+
+
+class NotVectorizable(Exception):
+    """A chain (or one partition's schema) cannot run batch-at-a-time.
+
+    The message is the human-readable reason, surfaced in the compile
+    trace and in runtime fallback events.
+    """
+
+
+def _is_masky(expr: Expr) -> bool:
+    """Whether ``expr`` statically evaluates to a boolean."""
+    if isinstance(expr, (Compare, BoolOp)):
+        return True
+    if isinstance(expr, UnaryOp) and expr.op == "not":
+        return True
+    return isinstance(expr, Const) and isinstance(expr.value, bool)
+
+
+def _contains_call(expr: Expr) -> bool:
+    if isinstance(expr, Call):
+        return True
+    return any(_contains_call(c) for c in expr.children())
+
+
+def _check_vec_expr(expr: Expr, param: str) -> str:
+    """Reason ``expr`` cannot be a vector expression, or ``""``."""
+    if param not in expr.free_vars():
+        if _contains_call(expr):
+            return "free function call (not provably pure)"
+        return ""  # evaluated once at kernel-build time
+    if isinstance(expr, Ref):
+        return ""  # the record itself; kind-checked at build time
+    if isinstance(expr, Attr):
+        if isinstance(expr.obj, Ref):
+            return ""
+        return "nested attribute access"
+    if isinstance(expr, Index):
+        if (
+            isinstance(expr.obj, TupleExpr)
+            and isinstance(expr.index, Const)
+            and isinstance(expr.index.value, int)
+            and not isinstance(expr.index.value, bool)
+            and -len(expr.obj.items)
+            <= expr.index.value
+            < len(expr.obj.items)
+        ):
+            # A constant index into a literal tuple — the shape filter
+            # pushdown leaves behind.  Every element must stay in the
+            # subset (the row kernel evaluates them all), but only the
+            # selected one is live.
+            for item in expr.obj.items:
+                reason = _check_vec_expr(item, param)
+                if reason:
+                    return reason
+            return ""
+        if (
+            isinstance(expr.obj, Ref)
+            and isinstance(expr.index, Const)
+            and isinstance(expr.index.value, int)
+            and not isinstance(expr.index.value, bool)
+        ):
+            return ""
+        return "non-constant or nested index"
+    if isinstance(expr, BinOp):
+        if expr.op not in _VEC_BIN:
+            return f"operator {expr.op!r}"
+        if _is_masky(expr.left) or _is_masky(expr.right):
+            return "arithmetic over boolean operands"
+        if expr.op in _VEC_DIV and param in expr.right.free_vars():
+            return "data-dependent divisor"
+        return _check_vec_expr(expr.left, param) or _check_vec_expr(
+            expr.right, param
+        )
+    if isinstance(expr, UnaryOp):
+        if expr.op == "-":
+            if _is_masky(expr.operand):
+                return "negating a boolean"
+            return _check_vec_expr(expr.operand, param)
+        if expr.op == "not":
+            return _check_vec_expr(expr.operand, param)
+        return f"operator {expr.op!r}"
+    if isinstance(expr, Compare):
+        if expr.op not in _VEC_CMP:
+            return f"comparison {expr.op!r}"
+        return _check_vec_expr(expr.left, param) or _check_vec_expr(
+            expr.right, param
+        )
+    if isinstance(expr, BoolOp):
+        for part in expr.operands:
+            if param in part.free_vars() and not _is_masky(part):
+                return "short-circuit over non-boolean operands"
+            reason = _check_vec_expr(part, param)
+            if reason:
+                return reason
+        return ""
+    return f"{type(expr).__name__} in UDF body"
+
+
+def _check_vec_step(
+    kind: str, params: tuple[str, ...], body: Expr | None
+) -> str:
+    """Reason one chain step cannot vectorize, or ``""``."""
+    if body is None:
+        return "UDF body is not lifted IR"
+    if len(params) != 1:
+        return "multi-parameter UDF"
+    if kind == FLATMAP:
+        return "flat-map requires row-at-a-time emission"
+    param = params[0]
+    if kind == FILTER:
+        return _check_vec_expr(body, param)
+    # map: the output may be a scalar, a tuple of scalars, or a
+    # record-constructor call over scalars
+    if isinstance(body, Ref) and body.name == param:
+        return ""
+    if isinstance(body, TupleExpr):
+        for item in body.items:
+            reason = _check_vec_expr(item, param)
+            if reason:
+                return reason
+        return ""
+    if isinstance(body, Call):
+        if body.kwargs:
+            return "constructor keyword arguments"
+        if not isinstance(body.func, Ref) or body.func.name == param:
+            return "computed constructor"
+        for arg in body.args:
+            reason = _check_vec_expr(arg, param)
+            if reason:
+                return reason
+        return ""
+    return _check_vec_expr(body, param)
+
+
+def vectorizable_reason(
+    steps_desc: Sequence[tuple[str, tuple[str, ...], Expr | None]],
+) -> str:
+    """Why a chain of ``(kind, params, body)`` steps cannot vectorize.
+
+    Returns ``""`` when every step is in the vectorizable subset — the
+    static half of the kernel-selection rule the optimizer applies
+    per chain.  The dynamic half (record kinds, binding values, zero
+    divisors) is re-checked when :func:`build_vector_kernel` meets the
+    actual partition schema, falling back to the row kernel per chain.
+    """
+    for kind, params, body in steps_desc:
+        reason = _check_vec_step(kind, params, body)
+        if reason:
+            return reason
+    return ""
+
+
+def _is_scalar_value(value: Any) -> bool:
+    return value is None or isinstance(value, (bool, int, float, str))
+
+
+class _Rep:
+    """The column layout of the record stream at one point of a chain."""
+
+    __slots__ = ("kind", "vars", "fields", "ctor")
+
+    def __init__(
+        self,
+        kind: str,
+        vars_: list[str],
+        fields: tuple[str, ...],
+        ctor: type | None,
+    ) -> None:
+        self.kind = kind
+        self.vars = vars_
+        self.fields = fields
+        self.ctor = ctor
+
+
+class VectorKernel:
+    """A compiled whole-chain batch-at-a-time kernel.
+
+    ``run(columns, nrows)`` returns ``(out_columns, out_nrows,
+    counts)`` where ``counts`` is value-identical to what the row
+    kernel would return for the same partition.  Pickles as its
+    generation recipe (steps + input schema), exactly like
+    :class:`ChainKernel`.
+    """
+
+    def __init__(
+        self,
+        steps: Sequence[KernelStep],
+        schema: ColumnSchema,
+        run: Callable,
+        source: str,
+        out_schema: ColumnSchema,
+        needed: frozenset[int],
+        n_counters: int,
+    ) -> None:
+        self.steps = tuple(steps)
+        self.schema = schema
+        self.run = run
+        self.source = source
+        self.out_schema = out_schema
+        #: input column positions the kernel actually reads — the
+        #: batch builder projects every other column away
+        self.needed = needed
+        self.n_counters = n_counters
+
+    def __reduce__(self) -> tuple:
+        """Pickle as the generation recipe (see :class:`ChainKernel`)."""
+        return (build_vector_kernel, (self.steps, self.schema))
+
+    def zero_counts(self) -> tuple:
+        """The counts tuple for an empty partition."""
+        return (0,) * self.n_counters
+
+    def run_batch(self, batch: ColumnBatch) -> tuple[ColumnBatch, tuple]:
+        """Run the kernel over one batch: ``(out_batch, counts)``."""
+        cols, n, counts = self.run(batch.columns, batch.nrows)
+        return ColumnBatch(self.out_schema, tuple(cols), n), counts
+
+
+def build_vector_kernel(
+    steps: Sequence[KernelStep], schema: ColumnSchema
+) -> VectorKernel:
+    """Generate and compile the batch kernel for ``steps`` over ``schema``.
+
+    Raises :exc:`NotVectorizable` (with the reason) when the chain, the
+    record layout, or a binding value is outside the vectorizable
+    subset; the caller falls back to the row kernel.
+    """
+    steps = tuple(steps)
+    namespace: dict[str, Any] = {
+        "_vcol": as_vector,
+        "_bcast": broadcast,
+        "_vmask": as_mask,
+        "_vcount": mask_count,
+        "_vsel": select_column,
+        "_vand": mask_and,
+        "_vor": mask_or,
+        "_vnot": mask_not,
+    }
+    interned: dict[int, str] = {}
+
+    def intern(value: Any) -> str:
+        name = interned.get(id(value))
+        if name is None:
+            name = f"_cv{len(interned)}"
+            interned[id(value)] = name
+            namespace[name] = value
+        return name
+
+    def render_scalar(value: Any) -> str:
+        if value is None or isinstance(value, (bool, int, str)):
+            return repr(value)
+        if isinstance(value, float) and math.isfinite(value):
+            return repr(value)
+        return intern(value)
+
+    _UNKNOWN = object()
+
+    def emit(
+        expr: Expr, param: str, rep: _Rep, env: Env
+    ) -> tuple[str, bool, bool, Any]:
+        """Emit one scalar expression over the current column layout.
+
+        Returns ``(source, is_column, is_mask, value)`` where ``value``
+        is the build-time value for non-column operands.
+        """
+        if param not in expr.free_vars():
+            if _contains_call(expr):
+                raise NotVectorizable(
+                    "free function call (not provably pure)"
+                )
+            try:
+                value = expr.evaluate(env)
+            except Exception as exc:
+                raise NotVectorizable(
+                    f"constant subexpression failed: {exc}"
+                )
+            if not _is_scalar_value(value):
+                raise NotVectorizable(
+                    "non-scalar operand of type "
+                    f"{type(value).__name__}"
+                )
+            return (
+                render_scalar(value),
+                False,
+                isinstance(value, bool),
+                value,
+            )
+        if isinstance(expr, Ref):
+            if rep.kind != "scalar":
+                raise NotVectorizable(
+                    "whole-record reference on composite records"
+                )
+            return rep.vars[0], True, False, _UNKNOWN
+        if isinstance(expr, Attr):
+            if not (
+                isinstance(expr.obj, Ref) and expr.obj.name == param
+            ):
+                raise NotVectorizable("nested attribute access")
+            if rep.kind != "dataclass" or expr.name not in rep.fields:
+                raise NotVectorizable(
+                    f"no column for field {expr.name!r}"
+                )
+            var = rep.vars[rep.fields.index(expr.name)]
+            return var, True, False, _UNKNOWN
+        if isinstance(expr, Index):
+            if (
+                isinstance(expr.obj, TupleExpr)
+                and isinstance(expr.index, Const)
+                and isinstance(expr.index.value, int)
+                and not isinstance(expr.index.value, bool)
+                and -len(expr.obj.items)
+                <= expr.index.value
+                < len(expr.obj.items)
+            ):
+                # Constant index into a literal tuple: emit every
+                # element (all must be in the subset, mirroring the
+                # row kernel's full evaluation) but wire up only the
+                # selected one; dead emits never reach the source.
+                picked = None
+                for j, item in enumerate(expr.obj.items):
+                    emitted = emit(item, param, rep, env)
+                    if j == expr.index.value % len(expr.obj.items):
+                        picked = emitted
+                return picked
+            if not (
+                isinstance(expr.obj, Ref)
+                and expr.obj.name == param
+                and isinstance(expr.index, Const)
+                and isinstance(expr.index.value, int)
+                and not isinstance(expr.index.value, bool)
+            ):
+                raise NotVectorizable("non-constant or nested index")
+            if rep.kind != "tuple":
+                raise NotVectorizable(
+                    "positional index on non-tuple records"
+                )
+            i = expr.index.value
+            arity = len(rep.vars)
+            if not (-arity <= i < arity):
+                raise NotVectorizable(f"index {i} out of arity {arity}")
+            return rep.vars[i], True, False, _UNKNOWN
+        if isinstance(expr, BinOp):
+            if expr.op not in _VEC_BIN:
+                raise NotVectorizable(f"operator {expr.op!r}")
+            if _is_masky(expr.left) or _is_masky(expr.right):
+                raise NotVectorizable("arithmetic over boolean operands")
+            lsrc, lcol, _lm, _lv = emit(expr.left, param, rep, env)
+            rsrc, rcol, _rm, rvalue = emit(expr.right, param, rep, env)
+            if expr.op in _VEC_DIV:
+                if rcol:
+                    raise NotVectorizable("data-dependent divisor")
+                if (
+                    not isinstance(rvalue, (int, float))
+                    or isinstance(rvalue, bool)
+                    or rvalue == 0
+                ):
+                    raise NotVectorizable(
+                        "unsafe divisor for vector division"
+                    )
+            return (
+                f"({lsrc} {expr.op} {rsrc})",
+                lcol or rcol,
+                False,
+                _UNKNOWN,
+            )
+        if isinstance(expr, UnaryOp):
+            if expr.op == "-":
+                if _is_masky(expr.operand):
+                    raise NotVectorizable("negating a boolean")
+                osrc, ocol, _om, _ov = emit(expr.operand, param, rep, env)
+                return f"(- {osrc})", ocol, False, _UNKNOWN
+            if expr.op == "not":
+                osrc, ocol, omask, _ov = emit(
+                    expr.operand, param, rep, env
+                )
+                if not omask:
+                    osrc = f"_vmask({osrc}, _n)"
+                return f"_vnot({osrc})", True, True, _UNKNOWN
+            raise NotVectorizable(f"operator {expr.op!r}")
+        if isinstance(expr, Compare):
+            if expr.op not in _VEC_CMP:
+                raise NotVectorizable(f"comparison {expr.op!r}")
+            lsrc, lcol, _lm, _lv = emit(expr.left, param, rep, env)
+            rsrc, rcol, _rm, _rv = emit(expr.right, param, rep, env)
+            return (
+                f"({lsrc} {expr.op} {rsrc})",
+                True,
+                True,
+                _UNKNOWN,
+            )
+        if isinstance(expr, BoolOp):
+            if expr.op not in ("and", "or") or not expr.operands:
+                raise NotVectorizable(f"operator {expr.op!r}")
+            parts = []
+            for part in expr.operands:
+                psrc, pcol, pmask, pvalue = emit(part, param, rep, env)
+                if not pcol and not isinstance(pvalue, bool):
+                    raise NotVectorizable(
+                        "short-circuit over non-boolean operands"
+                    )
+                if pcol and not pmask:
+                    raise NotVectorizable(
+                        "short-circuit over non-boolean operands"
+                    )
+                if not pcol:
+                    psrc = f"_vmask({psrc}, _n)"
+                parts.append(psrc)
+            fn = "_vand" if expr.op == "and" else "_vor"
+            src = parts[0]
+            for part in parts[1:]:
+                src = f"{fn}({src}, {part})"
+            return src, True, True, _UNKNOWN
+        raise NotVectorizable(f"{type(expr).__name__} in UDF body")
+
+    rep = _Rep(
+        schema.kind,
+        [f"_c{i}" for i in range(schema.arity)],
+        schema.fields,
+        schema.ctor,
+    )
+    lines: list[Any] = []  # str | ("select", mask_var, live_candidates)
+    counters: list[str] = []
+    vi = mi = 0
+    for step in steps:
+        if step.body is None or step.bindings is None:
+            raise NotVectorizable("UDF body is not lifted IR")
+        if len(step.params) != 1:
+            raise NotVectorizable("multi-parameter UDF")
+        if step.extra:
+            raise NotVectorizable("broadcast scan inside UDF")
+        param = step.params[0]
+        env = Env.of(dict(step.bindings))
+        if step.kind == FLATMAP:
+            raise NotVectorizable(
+                "flat-map requires row-at-a-time emission"
+            )
+        if step.kind == FILTER:
+            src, _is_col, _masky, _value = emit(
+                step.body, param, rep, env
+            )
+            mask = f"_m{mi}"
+            mi += 1
+            counter = f"_k{len(counters)}"
+            counters.append(counter)
+            lines.append(f"{mask} = _vmask({src}, _n)")
+            lines.append(f"{counter} = _vcount({mask})")
+            lines.append(("select", mask, tuple(rep.vars)))
+            lines.append(f"_n = {counter}")
+            continue
+        if step.kind != MAP:
+            raise NotVectorizable(f"unknown step kind {step.kind!r}")
+        body = step.body
+        if isinstance(body, Ref) and body.name == param:
+            continue  # identity map: layout unchanged
+        if isinstance(body, TupleExpr):
+            items = body.items
+            out_kind, out_ctor = "tuple", None
+        elif isinstance(body, Call):
+            if body.kwargs:
+                raise NotVectorizable("constructor keyword arguments")
+            if (
+                not isinstance(body.func, Ref)
+                or body.func.name == param
+            ):
+                raise NotVectorizable("computed constructor")
+            ctor = dict(step.bindings).get(body.func.name)
+            cschema = (
+                _dataclass_schema(ctor)
+                if isinstance(ctor, type)
+                else None
+            )
+            if cschema is None:
+                raise NotVectorizable(
+                    "constructor is not a plain dataclass"
+                )
+            if cschema.arity != len(body.args):
+                raise NotVectorizable(
+                    "constructor arity mismatch"
+                )
+            items = body.args
+            out_kind, out_ctor = "dataclass", ctor
+        else:
+            items = (body,)
+            out_kind, out_ctor = "scalar", None
+        new_vars: list[str] = []
+        for item in items:
+            src, is_col, _masky, _value = emit(item, param, rep, env)
+            var = f"_v{vi}"
+            vi += 1
+            if not is_col:
+                src = f"_bcast({src}, _n)"
+            lines.append(f"{var} = {src}")
+            new_vars.append(var)
+        if out_kind == "dataclass":
+            fields = tuple(
+                f.name for f in dataclasses.fields(out_ctor)
+            )
+        elif out_kind == "scalar":
+            fields = ("_0",)
+        else:
+            fields = tuple(f"_{j}" for j in range(len(new_vars)))
+        rep = _Rep(out_kind, new_vars, fields, out_ctor)
+
+    out_tuple = ", ".join(rep.vars) + ("," if len(rep.vars) == 1 else "")
+    ctr_tuple = ", ".join(counters) + ("," if len(counters) == 1 else "")
+    lines.append(f"return (({out_tuple}), _n, ({ctr_tuple}))")
+
+    # Resolve filter selections back-to-front: a column is re-selected
+    # at a filter only if some later line (or the return) still reads
+    # it — dead columns are never selected, and input columns never
+    # read at all are never even built (projection pushdown).
+    resolved_rev: list[str] = []
+    tail_text = ""
+    for entry in reversed(lines):
+        if isinstance(entry, tuple):
+            _tag, mask, candidates = entry
+            live = [
+                v
+                for v in dict.fromkeys(candidates)
+                if re.search(rf"{re.escape(v)}\b", tail_text)
+            ]
+            sel = [f"{v} = _vsel({v}, {mask})" for v in live]
+            resolved_rev.extend(reversed(sel))
+            tail_text = "\n".join(sel) + "\n" + tail_text
+        else:
+            resolved_rev.append(entry)
+            tail_text = entry + "\n" + tail_text
+    body_lines = list(reversed(resolved_rev))
+    body_text = "\n".join(body_lines)
+    needed = frozenset(
+        i
+        for i in range(schema.arity)
+        if re.search(rf"_c{i}\b", body_text)
+    )
+
+    src_lines = ["def _vector_kernel(_cols, _n):"]
+    src_lines.extend(
+        f"    _c{i} = _vcol(_cols[{i}])" for i in sorted(needed)
+    )
+    src_lines.extend(f"    {line}" for line in body_lines)
+    source = "\n".join(src_lines)
+    code = compile(source, "<vector-kernel>", "exec")
+    exec(code, namespace)  # noqa: S102 - compiler-generated source
+    out_schema = ColumnSchema(rep.kind, rep.fields, rep.ctor)
+    return VectorKernel(
+        steps,
+        schema,
+        namespace["_vector_kernel"],
+        source,
+        out_schema,
+        needed,
+        len(counters),
     )

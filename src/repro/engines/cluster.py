@@ -132,7 +132,7 @@ def hash_partition_index(key_value: Any, num_partitions: int) -> int:
 class PartitionedBag:
     """A distributed bag: one record list per partition."""
 
-    __slots__ = ("partitions", "partitioner")
+    __slots__ = ("partitions", "partitioner", "__weakref__")
 
     def __init__(
         self,

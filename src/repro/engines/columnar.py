@@ -1,0 +1,642 @@
+"""Columnar partition representation for vectorized chain kernels.
+
+The physical layer normally walks partitions as Python lists of
+records, row-at-a-time.  This module reifies a partition as a
+:class:`ColumnBatch` — one contiguous column per record field plus a
+:class:`ColumnSchema` — so that fused chain kernels can execute
+batch-at-a-time (maps over whole columns, filters via selection masks)
+instead of once per record.  The move follows "Reify Your Collection
+Queries for Modularity and Speed!" (Giarrusso et al.), applied at the
+partition level.
+
+Storage is tiered per column:
+
+* ``numpy`` arrays for ``float``/``bool`` columns when numpy is
+  importable (``HAS_NUMPY``) — vector arithmetic runs in C;
+* numpy ``<U`` unicode buffers for homogeneous ``str`` columns (date
+  filters compare in C), unless a value embeds ``NUL`` — a ``<U``
+  buffer would silently drop trailing ``"\\x00"`` characters;
+* ``array.array`` typed buffers for numeric columns without numpy —
+  still a compact, picklable representation for IPC;
+* plain Python lists for ints (arbitrary precision is sacred) and
+  everything else.
+
+For kernel evaluation, non-numpy columns are wrapped in
+:class:`PyColumn`, an element-wise operator-overloading shim whose
+arithmetic is *exactly* Python's (arbitrary-precision ints included),
+so columnar results are bit-identical to row-at-a-time results.
+
+Integer columns deliberately avoid numpy: ``int64`` overflow would
+silently diverge from Python's arbitrary-precision semantics.  Only
+``float`` and ``bool`` columns take the numpy fast path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import operator
+import os
+from array import array
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import EngineError
+
+try:  # pragma: no cover - exercised indirectly by both CI variants
+    import numpy as _np
+
+    HAS_NUMPY = True
+except Exception:  # pragma: no cover
+    _np = None
+    HAS_NUMPY = False
+
+#: Valid values of the ``columnar`` execution knob.
+COLUMNAR_MODES = ("auto", "on", "off")
+
+#: Record layouts a batch can represent.
+RECORD_KINDS = ("tuple", "dataclass", "scalar")
+
+
+def default_columnar_mode() -> str:
+    """The columnar mode from ``REPRO_COLUMNAR`` (default ``auto``).
+
+    ``auto`` vectorizes eligible chains only when numpy is available;
+    ``on`` forces the columnar path (pure-Python column fallback);
+    ``off`` disables it entirely.
+    """
+    mode = os.environ.get("REPRO_COLUMNAR", "auto").strip().lower()
+    if mode not in COLUMNAR_MODES:
+        raise EngineError(
+            f"REPRO_COLUMNAR={mode!r} is not one of {COLUMNAR_MODES}"
+        )
+    return mode
+
+
+class PyColumn:
+    """A list-backed column with element-wise Python operators.
+
+    Every binary operator maps Python's own scalar operator over the
+    elements, pairing element-wise against another column (or any
+    sequence of equal length) and broadcasting scalars.  This is the
+    semantics-preserving fallback used for ``str``/object columns and,
+    without numpy, for numeric columns: results are exactly what a
+    row-at-a-time loop would compute.
+    """
+
+    __slots__ = ("data",)
+
+    #: numpy must never absorb a PyColumn operand into an object
+    #: array: returning NotImplemented from ufuncs routes mixed
+    #: ndarray/PyColumn operations through the reflected PyColumn
+    #: operator, which keeps element-wise Python semantics.
+    __array_ufunc__ = None
+
+    def __init__(self, data: Sequence[Any]) -> None:
+        self.data = data if isinstance(data, list) else list(data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def tolist(self) -> list:
+        """The column values as a plain Python list."""
+        return list(self.data)
+
+    # -- element-wise combination ------------------------------------
+    def _zip(self, other: Any, op: Callable[[Any, Any], Any]) -> "PyColumn":
+        if isinstance(other, (PyColumn, StrColumn)):
+            other = other.tolist()
+        if _np is not None and isinstance(other, _np.ndarray):
+            other = other.tolist()
+        if isinstance(other, (list, array)):
+            return PyColumn([op(a, b) for a, b in zip(self.data, other)])
+        return PyColumn([op(a, other) for a in self.data])
+
+    def _rzip(self, other: Any, op: Callable[[Any, Any], Any]) -> "PyColumn":
+        if isinstance(other, (PyColumn, StrColumn)):
+            other = other.tolist()
+        if _np is not None and isinstance(other, _np.ndarray):
+            other = other.tolist()
+        if isinstance(other, (list, array)):
+            return PyColumn([op(b, a) for a, b in zip(self.data, other)])
+        return PyColumn([op(other, a) for a in self.data])
+
+    def __add__(self, other: Any) -> "PyColumn":
+        return self._zip(other, lambda a, b: a + b)
+
+    def __radd__(self, other: Any) -> "PyColumn":
+        return self._rzip(other, lambda a, b: a + b)
+
+    def __sub__(self, other: Any) -> "PyColumn":
+        return self._zip(other, lambda a, b: a - b)
+
+    def __rsub__(self, other: Any) -> "PyColumn":
+        return self._rzip(other, lambda a, b: a - b)
+
+    def __mul__(self, other: Any) -> "PyColumn":
+        return self._zip(other, lambda a, b: a * b)
+
+    def __rmul__(self, other: Any) -> "PyColumn":
+        return self._rzip(other, lambda a, b: a * b)
+
+    def __truediv__(self, other: Any) -> "PyColumn":
+        return self._zip(other, lambda a, b: a / b)
+
+    def __rtruediv__(self, other: Any) -> "PyColumn":
+        return self._rzip(other, lambda a, b: a / b)
+
+    def __floordiv__(self, other: Any) -> "PyColumn":
+        return self._zip(other, lambda a, b: a // b)
+
+    def __rfloordiv__(self, other: Any) -> "PyColumn":
+        return self._rzip(other, lambda a, b: a // b)
+
+    def __mod__(self, other: Any) -> "PyColumn":
+        return self._zip(other, lambda a, b: a % b)
+
+    def __rmod__(self, other: Any) -> "PyColumn":
+        return self._rzip(other, lambda a, b: a % b)
+
+    def __neg__(self) -> "PyColumn":
+        return PyColumn([-a for a in self.data])
+
+    def __lt__(self, other: Any) -> "PyColumn":
+        return self._zip(other, lambda a, b: a < b)
+
+    def __le__(self, other: Any) -> "PyColumn":
+        return self._zip(other, lambda a, b: a <= b)
+
+    def __gt__(self, other: Any) -> "PyColumn":
+        return self._zip(other, lambda a, b: a > b)
+
+    def __ge__(self, other: Any) -> "PyColumn":
+        return self._zip(other, lambda a, b: a >= b)
+
+    def __eq__(self, other: Any) -> "PyColumn":  # type: ignore[override]
+        return self._zip(other, lambda a, b: a == b)
+
+    def __ne__(self, other: Any) -> "PyColumn":  # type: ignore[override]
+        return self._zip(other, lambda a, b: a != b)
+
+    __hash__ = None  # element-wise __eq__ makes instances unhashable
+
+    def __repr__(self) -> str:
+        return f"PyColumn({self.data!r})"
+
+
+class StrColumn:
+    """A numpy-``<U``-backed string column.
+
+    The six comparisons run vectorized in C on the unicode buffer —
+    numpy's per-code-point ordering is exactly Python's ``str``
+    ordering, so a date filter like ``ship_date <= cutoff`` stays
+    bit-identical while dropping the per-row Python dispatch.  Every
+    other operator (concatenation, repetition, formatting, or any
+    comparison against a non-string operand) falls back to element-wise
+    Python through :class:`PyColumn`, so semantics never drift.
+    """
+
+    __slots__ = ("arr",)
+
+    #: see :attr:`PyColumn.__array_ufunc__`
+    __array_ufunc__ = None
+
+    def __init__(self, arr: Any) -> None:
+        self.arr = arr
+
+    def __len__(self) -> int:
+        return len(self.arr)
+
+    def tolist(self) -> list:
+        """The column values as exact Python strings."""
+        return self.arr.tolist()
+
+    def _py(self) -> PyColumn:
+        return PyColumn(self.arr.tolist())
+
+    def _cmp(self, other: Any, name: str) -> Any:
+        if isinstance(other, StrColumn):
+            other = other.arr
+        elif not isinstance(other, str):
+            # Mixed-type comparison: replay Python's own semantics
+            # element-wise rather than trusting numpy's coercions.
+            return getattr(self._py(), name)(other)
+        return getattr(self.arr, name)(other)
+
+    def __lt__(self, other: Any) -> Any:
+        return self._cmp(other, "__lt__")
+
+    def __le__(self, other: Any) -> Any:
+        return self._cmp(other, "__le__")
+
+    def __gt__(self, other: Any) -> Any:
+        return self._cmp(other, "__gt__")
+
+    def __ge__(self, other: Any) -> Any:
+        return self._cmp(other, "__ge__")
+
+    def __eq__(self, other: Any) -> Any:  # type: ignore[override]
+        return self._cmp(other, "__eq__")
+
+    def __ne__(self, other: Any) -> Any:  # type: ignore[override]
+        return self._cmp(other, "__ne__")
+
+    __hash__ = None  # element-wise __eq__ makes instances unhashable
+
+    def __add__(self, other: Any) -> PyColumn:
+        return self._py() + other
+
+    def __radd__(self, other: Any) -> PyColumn:
+        return self._py()._rzip(other, lambda a, b: a + b)
+
+    def __mul__(self, other: Any) -> PyColumn:
+        return self._py() * other
+
+    def __rmul__(self, other: Any) -> PyColumn:
+        return self._py()._rzip(other, lambda a, b: a * b)
+
+    def __mod__(self, other: Any) -> PyColumn:
+        return self._py() % other
+
+    def __rmod__(self, other: Any) -> PyColumn:
+        return self._py()._rzip(other, lambda a, b: a % b)
+
+    def __repr__(self) -> str:
+        return f"StrColumn({self.arr!r})"
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnSchema:
+    """The record layout of a :class:`ColumnBatch`.
+
+    ``kind`` is one of :data:`RECORD_KINDS`; ``fields`` names the
+    columns (dataclass field names, or ``_0``/``_1``/... positions);
+    ``ctor`` is the record class for ``dataclass`` batches (``None``
+    otherwise).
+    """
+
+    kind: str
+    fields: tuple[str, ...]
+    ctor: type | None = None
+
+    @property
+    def arity(self) -> int:
+        """Number of columns per record."""
+        return len(self.fields)
+
+    def signature(self) -> tuple:
+        """A hashable, process-independent identity for kernel caches."""
+        ctor_id = None
+        if self.ctor is not None:
+            ctor_id = (self.ctor.__module__, self.ctor.__qualname__)
+        return (self.kind, self.fields, ctor_id)
+
+
+def _dataclass_schema(rec_type: type) -> ColumnSchema | None:
+    """A schema for a plain dataclass record type, or ``None``."""
+    if not dataclasses.is_dataclass(rec_type):
+        return None
+    if hasattr(rec_type, "__post_init__"):
+        return None
+    flds = dataclasses.fields(rec_type)
+    if not flds:
+        return None
+    if any(not f.init or getattr(f, "kw_only", False) for f in flds):
+        return None
+    return ColumnSchema(
+        "dataclass", tuple(f.name for f in flds), rec_type
+    )
+
+
+def infer_schema(records: Sequence[Any]) -> tuple[ColumnSchema | None, str]:
+    """Infer a column schema from a sample of a partition.
+
+    Returns ``(schema, "")`` on success or ``(None, reason)`` when the
+    records cannot be represented columnar (heterogeneous types,
+    unsupported record class, ...).  The sample is the first record;
+    homogeneity over the full partition is validated during the actual
+    batch build.
+    """
+    if not records:
+        return None, "empty partition"
+    first = records[0]
+    rec_type = type(first)
+    if rec_type is tuple:
+        if not first:
+            return None, "zero-arity tuple records"
+        fields = tuple(f"_{i}" for i in range(len(first)))
+        return ColumnSchema("tuple", fields), ""
+    if rec_type in (int, float, bool, str):
+        return ColumnSchema("scalar", ("_0",)), ""
+    schema = _dataclass_schema(rec_type)
+    if schema is not None:
+        return schema, ""
+    return None, f"unsupported record type {rec_type.__name__}"
+
+
+def _pack_column(values: list) -> Any:
+    """Pick the tightest backing store for one column of values.
+
+    numpy float64/bool arrays when available; ``array.array`` typed
+    buffers for numerics otherwise; plain lists for ints (exact
+    arbitrary-precision semantics), strings, and objects.
+    """
+    kinds = set(map(type, values))
+    if kinds == {float}:
+        if HAS_NUMPY:
+            return _np.asarray(values, dtype=_np.float64)
+        return array("d", values)
+    if kinds == {bool}:
+        if HAS_NUMPY:
+            return _np.asarray(values, dtype=_np.bool_)
+        return values
+    if kinds == {int}:
+        # Plain list: numpy int64 would silently overflow where Python
+        # promotes to arbitrary precision.
+        return values
+    if kinds == {str} and HAS_NUMPY:
+        # ``<U`` buffers drop *trailing* NULs on the way back out, so
+        # any embedded NUL keeps the column a plain list.
+        if not any("\x00" in v for v in values):
+            return _np.asarray(values)
+    return values
+
+
+def build_batch(
+    records: Sequence[Any],
+    schema: ColumnSchema,
+    needed: frozenset[int] | None = None,
+) -> tuple["ColumnBatch | None", str]:
+    """Build a :class:`ColumnBatch` from a partition of records.
+
+    ``needed`` restricts the build to the column positions a kernel
+    actually reads (projection pushdown); unneeded columns stay
+    ``None``.  Returns ``(batch, "")`` or ``(None, reason)`` when the
+    partition does not match ``schema`` (the caller falls back to the
+    row-at-a-time kernel for this partition).
+    """
+    if not records:
+        return None, "empty partition"
+    rec_types = set(map(type, records))
+    if schema.kind == "dataclass":
+        if rec_types != {schema.ctor}:
+            return None, "mixed record types in partition"
+    elif schema.kind == "tuple":
+        if rec_types != {tuple}:
+            return None, "mixed record types in partition"
+        if any(len(r) != schema.arity for r in records):
+            return None, "ragged tuple arity in partition"
+    else:  # scalar
+        if not rec_types <= {int, float, bool, str}:
+            return None, "non-scalar records in scalar partition"
+    n = len(records)
+    columns: list[Any] = [None] * schema.arity
+    positions = (
+        list(range(schema.arity))
+        if needed is None
+        else sorted(needed)
+    )
+    try:
+        for i, values in zip(
+            positions, _extract_columns(records, schema, positions)
+        ):
+            columns[i] = _pack_column(values)
+    except (AttributeError, IndexError, TypeError, OverflowError) as exc:
+        return None, f"column build failed: {exc}"
+    return ColumnBatch(schema, tuple(columns), n), ""
+
+
+def _extract_columns(
+    records: Sequence[Any],
+    schema: ColumnSchema,
+    positions: list[int],
+) -> list[list]:
+    """Pull the requested column positions out of a partition.
+
+    The transpose is the hot loop of batch building, so it stays at the
+    C level: one ``attrgetter``/``itemgetter`` per record (returning
+    all requested fields at once) and a ``zip(*...)`` to turn the
+    record-major stream column-major.
+    """
+    if schema.kind == "scalar":
+        return [list(records)]
+    if not positions:
+        return []
+    if schema.kind == "dataclass":
+        getter = operator.attrgetter(
+            *(schema.fields[i] for i in positions)
+        )
+    else:
+        getter = operator.itemgetter(*positions)
+    if len(positions) == 1:
+        return [list(map(getter, records))]
+    return [list(col) for col in zip(*map(getter, records))]
+
+
+def _column_list(col: Any) -> list:
+    """One column's values back as exact Python scalars."""
+    if col is None:
+        raise EngineError("cannot materialize a projected-away column")
+    if isinstance(col, PyColumn):
+        return col.tolist()
+    if isinstance(col, list):
+        return col
+    # numpy arrays and array.array both expose ``tolist`` returning
+    # native Python ints/floats/bools.
+    return col.tolist()
+
+
+class ColumnBatch:
+    """One partition, stored as columns.
+
+    ``columns`` holds one backing store per schema field (``None`` for
+    columns projected away at build time); ``nrows`` is the row count.
+    Batches pickle as their typed buffers, which is what makes shipping
+    them across the process-pool boundary cheaper than row lists.
+    """
+
+    def __init__(
+        self,
+        schema: ColumnSchema,
+        columns: tuple[Any, ...],
+        nrows: int,
+    ) -> None:
+        self.schema = schema
+        self.columns = columns
+        self.nrows = nrows
+
+    def __len__(self) -> int:
+        return self.nrows
+
+    def to_records(self) -> list:
+        """Reconstruct the exact row-at-a-time records."""
+        lists = [_column_list(c) for c in self.columns]
+        if self.schema.kind == "scalar":
+            return lists[0]
+        if self.schema.kind == "tuple":
+            return list(zip(*lists)) if lists else []
+        ctor = self.schema.ctor
+        return [ctor(*vals) for vals in zip(*lists)]
+
+    def slice(self, start: int, stop: int) -> "ColumnBatch":
+        """A contiguous row range — zero-copy for numpy columns."""
+        cols = tuple(
+            None if c is None else c[start:stop] for c in self.columns
+        )
+        n = max(0, min(stop, self.nrows) - max(start, 0))
+        return ColumnBatch(self.schema, cols, n)
+
+    def select(self, mask: Any) -> "ColumnBatch":
+        """Rows where ``mask`` is true (a selection-mask filter)."""
+        cols = tuple(
+            None if c is None else select_column(c, mask)
+            for c in self.columns
+        )
+        return ColumnBatch(self.schema, cols, mask_count(mask))
+
+    def column_nbytes(self) -> tuple[int, ...]:
+        """Actual buffer bytes per column (0 for projected columns)."""
+        out = []
+        for col in self.columns:
+            if col is None:
+                out.append(0)
+            elif isinstance(col, StrColumn):
+                out.append(int(col.arr.nbytes))
+            elif _np is not None and isinstance(col, _np.ndarray):
+                out.append(int(col.nbytes))
+            elif isinstance(col, array):
+                out.append(len(col) * col.itemsize)
+            else:
+                from repro.engines.sizes import estimate_column_bytes
+
+                data = col.data if isinstance(col, PyColumn) else col
+                out.append(estimate_column_bytes(data))
+        return tuple(out)
+
+    def nbytes(self) -> int:
+        """Total buffer bytes across columns."""
+        return sum(self.column_nbytes())
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnBatch(kind={self.schema.kind!r}, "
+            f"arity={self.schema.arity}, nrows={self.nrows})"
+        )
+
+
+def batch_from_records(
+    records: Sequence[Any],
+) -> tuple[ColumnBatch | None, str]:
+    """Infer a schema and build a full (unprojected) batch in one go."""
+    schema, reason = infer_schema(records)
+    if schema is None:
+        return None, reason
+    return build_batch(records, schema)
+
+
+# ---------------------------------------------------------------------------
+# Vector-evaluation helpers (the namespace of generated vector kernels)
+# ---------------------------------------------------------------------------
+
+
+def as_vector(col: Any) -> Any:
+    """A column as an operator-overloading vector (numpy or PyColumn)."""
+    if _np is not None and isinstance(col, _np.ndarray):
+        if col.dtype.kind in ("U", "S"):
+            return StrColumn(col)
+        return col
+    if isinstance(col, (PyColumn, StrColumn)):
+        return col
+    return PyColumn(col)
+
+
+def broadcast(value: Any, n: int) -> Any:
+    """A constant as an ``n``-row column."""
+    if _np is not None and isinstance(value, (float, bool)):
+        return _np.full(n, value)
+    return PyColumn([value] * n)
+
+
+def as_mask(value: Any, n: int) -> Any:
+    """Normalize a predicate result to a boolean selection mask.
+
+    Row-at-a-time filters apply Python truthiness; this reproduces it
+    element-wise for every column representation.
+    """
+    if _np is not None and isinstance(value, _np.ndarray):
+        if value.dtype == _np.bool_:
+            return value
+        return value != 0
+    if isinstance(value, StrColumn):
+        return value.arr != ""  # str truthiness == non-emptiness
+    if isinstance(value, PyColumn):
+        return PyColumn([bool(v) for v in value.data])
+    # A scalar predicate (constant filter): broadcast its truthiness.
+    truth = bool(value)
+    if _np is not None:
+        return _np.full(n, truth)
+    return PyColumn([truth] * n)
+
+
+def mask_count(mask: Any) -> int:
+    """Number of selected rows in a mask."""
+    if _np is not None and isinstance(mask, _np.ndarray):
+        return int(mask.sum())
+    data = mask.data if isinstance(mask, PyColumn) else mask
+    return sum(1 for v in data if v)
+
+
+def select_column(col: Any, mask: Any) -> Any:
+    """Apply a selection mask to one column."""
+    if isinstance(col, StrColumn):
+        return StrColumn(select_column(col.arr, mask))
+    if _np is not None and isinstance(col, _np.ndarray):
+        if isinstance(mask, PyColumn):
+            mask = _np.asarray(mask.data, dtype=_np.bool_)
+        return col[mask]
+    data = col.data if isinstance(col, PyColumn) else col
+    mdata = mask.data if isinstance(mask, PyColumn) else mask
+    if _np is not None and isinstance(mdata, _np.ndarray):
+        mdata = mdata.tolist()
+    kept = [v for v, keep in zip(data, mdata) if keep]
+    return PyColumn(kept) if isinstance(col, PyColumn) else kept
+
+
+def mask_and(a: Any, b: Any) -> Any:
+    """Element-wise conjunction of two boolean masks."""
+    if (
+        _np is not None
+        and isinstance(a, _np.ndarray)
+        and isinstance(b, _np.ndarray)
+    ):
+        return a & b
+    adata = a.data if isinstance(a, PyColumn) else a
+    bdata = b.data if isinstance(b, PyColumn) else b
+    if _np is not None and isinstance(adata, _np.ndarray):
+        adata = adata.tolist()
+    if _np is not None and isinstance(bdata, _np.ndarray):
+        bdata = bdata.tolist()
+    return PyColumn([bool(x) and bool(y) for x, y in zip(adata, bdata)])
+
+
+def mask_or(a: Any, b: Any) -> Any:
+    """Element-wise disjunction of two boolean masks."""
+    if (
+        _np is not None
+        and isinstance(a, _np.ndarray)
+        and isinstance(b, _np.ndarray)
+    ):
+        return a | b
+    adata = a.data if isinstance(a, PyColumn) else a
+    bdata = b.data if isinstance(b, PyColumn) else b
+    if _np is not None and isinstance(adata, _np.ndarray):
+        adata = adata.tolist()
+    if _np is not None and isinstance(bdata, _np.ndarray):
+        bdata = bdata.tolist()
+    return PyColumn([bool(x) or bool(y) for x, y in zip(adata, bdata)])
+
+
+def mask_not(a: Any) -> Any:
+    """Element-wise negation of a boolean mask."""
+    if _np is not None and isinstance(a, _np.ndarray):
+        return ~a
+    data = a.data if isinstance(a, PyColumn) else a
+    return PyColumn([not bool(v) for v in data])

@@ -39,7 +39,16 @@ from repro.engines.chainkernel import (
     MAP,
     ChainKernel,
     KernelStep,
+    NotVectorizable,
+    VectorKernel,
     build_chain_kernel,
+    build_vector_kernel,
+)
+from repro.engines.columnar import (
+    HAS_NUMPY,
+    ColumnBatch,
+    build_batch,
+    infer_schema,
 )
 from repro.engines.cluster import (
     PartitionedBag,
@@ -62,6 +71,7 @@ from repro.engines.scheduler import (
     SemiProbeSpec,
     TaskStage,
     UdfRef,
+    VectorKernelSpec,
 )
 from repro.engines.sizes import estimate_bag_bytes, estimate_record_bytes
 from repro.errors import EngineError, SimulatedMemoryError
@@ -167,6 +177,10 @@ class JobExecutor:
             frozenset[str], tuple[dict[str, Any], int]
         ] = {}
         self._kernel_memo: dict[int, ChainKernel] = {}
+        #: per-job vector-kernel memo (by chain identity): a compiled
+        #: :class:`VectorKernel`, or ``None`` after a chain-level
+        #: fallback so the reason is counted and traced only once
+        self._vkernel_memo: dict[int, VectorKernel | None] = {}
         # State shared with nested executors spawned for lazy lineages
         # within the *same* job (so one DeferredBag consumed twice in a
         # job — a self-join over a lazy bag — executes once).
@@ -621,10 +635,215 @@ class JobExecutor:
                 * (n_ops - 1)
             )
 
+    # -- columnar batch execution -------------------------------------------
+
+    def _columnar_active(self, comb: CChain) -> bool:
+        """Whether this chain should attempt the columnar plane.
+
+        Static selection (``comb.columnar``) comes from the optimizer;
+        the engine knob gates it at runtime: ``off`` disables, ``on``
+        forces the attempt even on the pure-Python column fallback, and
+        ``auto`` vectorizes only where numpy makes it a clear win.
+        """
+        mode = self.engine.columnar_mode
+        if not comb.columnar or mode == "off":
+            return False
+        return mode == "on" or HAS_NUMPY
+
+    def _count_columnar_fallback(self, comb: CChain, reason: str) -> None:
+        """Count + trace one row-plane fallback with its reason."""
+        self.engine.metrics.columnar_fallbacks += 1
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.event(
+                "columnar fallback",
+                ts=self.job.trace_ts(),
+                chain=comb.describe(),
+                reason=reason,
+            )
+
+    def _vector_kernel(
+        self,
+        comb: CChain,
+        kernel: ChainKernel,
+        sample: list[Any],
+    ) -> VectorKernel | None:
+        """The chain's compiled vector kernel, or ``None`` (once-counted
+        fallback) when the observed record layout or a binding value is
+        outside the vectorizable subset."""
+        key = id(comb)
+        if key in self._vkernel_memo:
+            return self._vkernel_memo[key]
+        vk: VectorKernel | None = None
+        schema, reason = infer_schema(sample)
+        if schema is None:
+            self._count_columnar_fallback(comb, reason)
+        else:
+            try:
+                vk = build_vector_kernel(kernel.steps, schema)
+            except NotVectorizable as exc:
+                self._count_columnar_fallback(comb, str(exc))
+            else:
+                self.engine.metrics.columnar_kernels += 1
+        self._vkernel_memo[key] = vk
+        return vk
+
+    def _trace_columnar_batches(
+        self, comb: CChain, batches: list[ColumnBatch]
+    ) -> None:
+        """Per-column byte accounting for the batches of one chain."""
+        tracer = self.engine.tracer
+        if tracer is None or not batches:
+            return
+        per_column = [0] * len(batches[0].columns)
+        rows = 0
+        for b in batches:
+            rows += b.nrows
+            for j, n in enumerate(b.column_nbytes()):
+                per_column[j] += n
+        tracer.event(
+            "columnar batches",
+            ts=self.job.trace_ts(),
+            chain=comb.describe(),
+            batches=len(batches),
+            rows=rows,
+            column_bytes=per_column,
+            total_bytes=sum(per_column),
+        )
+
+    def _partition_batches(
+        self,
+        comb: CChain,
+        vk: VectorKernel,
+        source: PartitionedBag,
+    ) -> dict[int, ColumnBatch]:
+        """Per-partition batches for one chain, cached per source bag.
+
+        A chain re-scanning the same at-rest :class:`PartitionedBag`
+        (loop-invariant inputs, repeated queries over a parallelized
+        bag) packs its columns only once: the engine keeps a weak
+        per-bag cache keyed by schema signature and projection, stamped
+        with the partition lists' identities and lengths so that any
+        partition replacement — lineage recovery rebuilds the list
+        object — invalidates the entry.  Hits change nothing
+        observable; ``columnar_batches_built`` counts actual packing
+        work, and per-partition fallbacks are counted when discovered.
+        """
+        cache = self.engine._batch_cache
+        stamp = (
+            tuple(map(id, source.partitions)),
+            tuple(map(len, source.partitions)),
+        )
+        key = (vk.schema.signature(), vk.needed)
+        entry = cache.get(source)
+        if entry is not None and entry[0] != stamp:
+            entry = None
+        if entry is not None:
+            hit = entry[1].get(key)
+            if hit is not None:
+                return hit
+        metrics = self.engine.metrics
+        batches: dict[int, ColumnBatch] = {}
+        traced: list[ColumnBatch] = []
+        for i, p in enumerate(source.partitions):
+            if not p:
+                continue
+            batch, reason = build_batch(p, vk.schema, vk.needed)
+            if batch is None:
+                self._count_columnar_fallback(
+                    comb, f"partition {i}: {reason}"
+                )
+                continue
+            metrics.columnar_batches_built += 1
+            batches[i] = batch
+            traced.append(batch)
+        self._trace_columnar_batches(comb, traced)
+        if entry is not None:
+            entry[1][key] = batches
+        else:
+            cache[source] = (stamp, {key: batches})
+        return batches
+
+    def _exec_chain_columnar(
+        self, comb: CChain, kernel: ChainKernel, source: PartitionedBag
+    ) -> PartitionedBag | None:
+        """Run a chain batch-at-a-time; ``None`` defers to the row path.
+
+        Results and all simulated accounting are bit-identical to the
+        row kernel: the vector kernel returns the same counts tuple and
+        is charged through the same :meth:`_charge_kernel`, in the same
+        partition order (so fault schedules line up too).  Partitions
+        whose records do not fit the inferred schema fall back to the
+        row kernel individually, counted in ``columnar_fallbacks``.
+        """
+        sample = next((p for p in source.partitions if p), None)
+        if sample is None:
+            return None
+        vk = self._vector_kernel(comb, kernel, sample)
+        if vk is None:
+            return None
+        metrics = self.engine.metrics
+        batches = self._partition_batches(comb, vk, source)
+        total_invocations = 0
+        out: list[list[Any]] = []
+        if self._parallel:
+            vspec = VectorKernelSpec(kernel.steps, vk.schema, prepared=vk)
+            rspec = KernelSpec(kernel.steps, prepared=kernel)
+            tasks = []
+            for i, p in enumerate(source.partitions):
+                batch = batches.get(i)
+                if batch is not None:
+                    tasks.append(
+                        PartitionTask(i, vspec, batch, comb.label())
+                    )
+                else:
+                    tasks.append(
+                        PartitionTask(i, rspec, p, comb.label())
+                    )
+            results = self._run_stage(tasks)
+            for i, (p, (payload, counts)) in enumerate(
+                zip(source.partitions, results)
+            ):
+                rows = (
+                    payload.to_records()
+                    if isinstance(payload, ColumnBatch)
+                    else payload
+                )
+                entered, _emitted = self._charge_kernel(
+                    kernel, i, p, counts
+                )
+                out.append(rows)
+                total_invocations += sum(entered)
+        else:
+            for i, p in enumerate(source.partitions):
+                batch = batches.get(i)
+                if batch is not None:
+                    out_batch, counts = vk.run_batch(batch)
+                    rows = out_batch.to_records()
+                else:
+                    rows = []
+                    counts = kernel.run(p, rows.append)
+                entered, _emitted = self._charge_kernel(
+                    kernel, i, p, counts
+                )
+                out.append(rows)
+                total_invocations += sum(entered)
+        metrics.udf_invocations += total_invocations
+        return PartitionedBag(
+            out,
+            source.partitioner
+            if comb.preserves_partitioning()
+            else None,
+        )
+
     def _exec_chain(self, comb: CChain) -> PartitionedBag:
         source = self._exec(comb.input)
         kernel = self._chain_kernel(comb)
         self._charge_chain_overheads(kernel)
+        if self._columnar_active(comb):
+            columnar = self._exec_chain_columnar(comb, kernel, source)
+            if columnar is not None:
+                return columnar
         total_invocations = 0
         out: list[list[Any]] = []
         if self._parallel:

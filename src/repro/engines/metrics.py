@@ -113,6 +113,15 @@ class Metrics:
     #: parallel stages that fell back to in-process serial execution
     serial_fallbacks: int = 0
 
+    # -- columnar batch data plane ------------------------------------------
+    #: partitions converted to ColumnBatch form for a vector kernel
+    columnar_batches_built: int = 0
+    #: vectorized (batch-at-a-time) chain kernels compiled
+    columnar_kernels: int = 0
+    #: chains or partitions that fell back to the row kernel at runtime
+    #: (unsupported record layout, binding values, mixed partitions)
+    columnar_fallbacks: int = 0
+
     def snapshot(self) -> "Metrics":
         """A copy of the current counters (for before/after deltas)."""
         return Metrics(**vars(self))
@@ -151,6 +160,12 @@ class Metrics:
                 f"spec={self.speculative_launches}"
                 f"({self.speculative_wins} won) "
                 f"fallbacks={self.serial_fallbacks}"
+            )
+        if self.columnar_kernels or self.columnar_fallbacks:
+            base += (
+                f" | col_kernels={self.columnar_kernels} "
+                f"col_batches={self.columnar_batches_built} "
+                f"col_fallbacks={self.columnar_fallbacks}"
             )
         if self.recovery_happened:
             base += " | " + self.recovery_summary()
@@ -214,6 +229,9 @@ class JobRun:
         #: host ``perf_counter`` at job start, for the *measured*
         #: ``wall_clock_seconds`` (distinct from the simulated clock)
         self.wall_started = 0.0
+        #: columnar counter snapshot (batches, kernels, fallbacks) at
+        #: job start — the job span reports the per-job deltas
+        self.columnar_start = (0, 0, 0)
 
     def charge_worker(self, worker: int, seconds: float) -> None:
         """Add busy time to one worker (index wraps)."""

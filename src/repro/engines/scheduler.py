@@ -65,7 +65,14 @@ from repro.comprehension.exprs import AlgebraSpec, Env
 from repro.comprehension.pretty import pretty
 from repro.core.databag import DataBag
 from repro.core.grp import Grp
-from repro.engines.chainkernel import ChainKernel, KernelStep, build_chain_kernel
+from repro.engines.chainkernel import (
+    ChainKernel,
+    KernelStep,
+    VectorKernel,
+    build_chain_kernel,
+    build_vector_kernel,
+)
+from repro.engines.columnar import ColumnBatch, ColumnSchema
 from repro.engines.cluster import hash_partition_index, stable_hash
 from repro.errors import EngineError
 from repro.lowering.combinators import AggResult, ScalarFn
@@ -271,6 +278,42 @@ class KernelSpec(TaskSpec):
     def build(self) -> ChainKernel:
         """Regenerate + compile the kernel source from the step IR."""
         return build_chain_kernel(self.steps)
+
+
+class VectorKernelSpec(TaskSpec):
+    """Run a vectorized chain kernel over a :class:`ColumnBatch`.
+
+    The task payload is a whole batch (typed column buffers) instead of
+    a row list; the result is ``(out_batch, counts)`` with the counts
+    tuple identical in shape and value to the row kernel's, so the
+    driver charges both planes through the same accounting path.
+    """
+
+    kind = "vkernel"
+
+    def __init__(
+        self,
+        steps: Sequence[KernelStep],
+        schema: ColumnSchema,
+        prepared: VectorKernel | None = None,
+    ) -> None:
+        row_spec = KernelSpec(steps)
+        fingerprint: tuple | None = None
+        if row_spec.fingerprint[0] != "token":
+            fingerprint = (
+                "vkernel",
+                row_spec.fingerprint,
+                schema.signature(),
+            )
+        super().__init__(fingerprint)
+        self.steps = tuple(steps)
+        self.schema = schema
+        if prepared is not None:
+            self._prepared = prepared
+
+    def build(self) -> VectorKernel:
+        """Regenerate + compile the vector kernel from the step IR."""
+        return build_vector_kernel(self.steps, self.schema)
 
 
 class AggMapSpec(TaskSpec):
@@ -592,6 +635,11 @@ def _run_kernel(kernel: ChainKernel, partition: list[Any]) -> tuple:
     return rows, counts
 
 
+def _run_vector_kernel(kernel: VectorKernel, batch: ColumnBatch) -> tuple:
+    """Run a vector kernel over one shipped batch: ``(batch, counts)``."""
+    return kernel.run_batch(batch)
+
+
 def _run_agg_map(prepared: tuple, partition: list[Any]) -> tuple:
     """Partial-aggregate a partition (chain-fused when steps shipped)."""
     kernel, key_fn, algebras = prepared
@@ -698,6 +746,7 @@ def _run_fold(algebra: Any, partition: list[Any]) -> Any:
 
 _RUNNERS: dict[str, Callable[[Any, Any], Any]] = {
     "kernel": _run_kernel,
+    "vkernel": _run_vector_kernel,
     "agg-map": _run_agg_map,
     "agg-merge": _run_agg_merge,
     "group": _run_group,

@@ -23,8 +23,10 @@ def estimate_record_bytes(record: Any) -> int:
 
 
 def _estimate(value: Any, depth: int) -> int:
-    if depth > 6:
-        return _RECORD_OVERHEAD
+    # Scalars are type-dispatched at any depth: their width is known
+    # without recursion, so the depth cap (which exists to bound
+    # traversal of pathologically nested containers) must not flatten
+    # a deeply nested bool/str to the generic record overhead.
     if value is None:
         return 1
     if isinstance(value, bool):
@@ -37,6 +39,8 @@ def _estimate(value: Any, depth: int) -> int:
         return 4 + len(value)
     if isinstance(value, bytes):
         return 4 + len(value)
+    if depth > 6:
+        return _RECORD_OVERHEAD
     if isinstance(value, (tuple, list)):
         return _RECORD_OVERHEAD + sum(
             _estimate(v, depth + 1) for v in value
@@ -86,3 +90,35 @@ def estimate_bag_bytes(records: Sequence[Any]) -> int:
 def estimate_partitions_bytes(partitions: Iterable[Sequence[Any]]) -> int:
     """Estimated total size across partitions."""
     return sum(estimate_bag_bytes(p) for p in partitions)
+
+
+def estimate_column_bytes(values: Sequence[Any]) -> int:
+    """Estimated serialized size of one column of scalar values.
+
+    Columns hold one field per record, so each value is charged as it
+    would be inside a record (``depth=1``) — no per-record overhead,
+    which is what makes the columnar plane's byte accounting cheaper
+    than the row estimate for the same data.  Long columns are sampled
+    by prefix like :func:`estimate_bag_bytes`.
+    """
+    n = len(values)
+    if n == 0:
+        return 0
+    if n <= _SAMPLE:
+        return sum(_estimate(v, depth=1) for v in values)
+    avg = sum(_estimate(v, depth=1) for v in values[:_SAMPLE]) / _SAMPLE
+    return int(avg * n)
+
+
+def estimate_batch_bytes(column_nbytes: Sequence[int], nrows: int) -> int:
+    """Estimated serialized size of a column batch.
+
+    Takes the per-column byte counts (typed buffers report their exact
+    ``nbytes``; object columns go through
+    :func:`estimate_column_bytes`) plus one batch-level overhead —
+    *not* one per record, since the batch ships as a handful of
+    contiguous buffers.
+    """
+    if nrows == 0:
+        return 0
+    return _RECORD_OVERHEAD + sum(column_nbytes)

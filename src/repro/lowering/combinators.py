@@ -294,6 +294,12 @@ class CChain(Combinator):
     ops: tuple[Combinator, ...] = ()
     input: Combinator = None  # type: ignore[assignment]
     shared: bool = field(default=False, compare=False)
+    #: optimizer-selected execution plane: ``True`` runs the chain
+    #: through a vectorized batch kernel over ColumnBatch partitions
+    columnar: bool = field(default=False, compare=False)
+    #: why the chain stays (or may fall back to) row-at-a-time; set by
+    #: the columnar-selection pass, rendered in ``describe()``/trace
+    columnar_reason: str = field(default="", compare=False)
 
     def inputs(self) -> tuple[Combinator, ...]:
         return (self.input,)
@@ -310,6 +316,10 @@ class CChain(Combinator):
 
     def describe(self) -> str:
         inner = " -> ".join(op.describe() for op in self.ops)
+        if self.columnar:
+            return f"Chain[{inner} | columnar]"
+        if self.columnar_reason:
+            return f"Chain[{inner} | row]"
         return f"Chain[{inner}]"
 
 

@@ -1,0 +1,164 @@
+"""Per-chain columnar/row kernel selection.
+
+After physical operator chaining, each :class:`~repro.lowering.
+combinators.CChain` can execute either row-at-a-time (the classic
+fused kernel loop) or batch-at-a-time over :class:`~repro.engines.
+columnar.ColumnBatch` partitions.  This pass applies the
+*kernel-selection rule* per chain:
+
+* every step must be in the vectorizable scalar subset
+  (:func:`repro.engines.chainkernel.vectorizable_reason` — maps over
+  columns, filters via selection masks; flat-maps always stream rows);
+* a chain that the executor will fuse into a downstream aggregation's
+  mapper phase stays row-at-a-time (it streams straight into the
+  partial-aggregation accumulators and never materializes a batch).
+
+The decision is recorded on the chain node (``columnar`` /
+``columnar_reason``), rendered by ``explain()`` as
+``Chain[... | columnar]`` or ``Chain[... | row]``, and traced with the
+reason.  Selection is static; the executor re-checks the dynamic half
+(actual record layout, binding values) per job and falls back to the
+row kernel — counting ``columnar_fallbacks`` — when a partition's
+types do not cooperate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.engines.chainkernel import (
+    FILTER,
+    FLATMAP,
+    MAP,
+    vectorizable_reason,
+)
+from repro.lowering.chaining import consumer_counts
+from repro.lowering.combinators import (
+    CAggBy,
+    CChain,
+    CFilter,
+    CFlatMap,
+    CMap,
+    Combinator,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engines.tracing import CompileTrace
+
+
+@dataclass
+class ColumnarStats:
+    """What the pass decided — one count per selected plane."""
+
+    columnar_chains: int = 0
+    row_chains: int = 0
+
+
+def chain_step_descs(
+    chain: CChain,
+) -> tuple[tuple[str, tuple[str, ...], object], ...]:
+    """The ``(kind, params, body)`` description of each chain step."""
+    out = []
+    for op in chain.ops:
+        if isinstance(op, CMap):
+            out.append((MAP, op.fn.params, op.fn.body))
+        elif isinstance(op, CFlatMap):
+            out.append((FLATMAP, op.fn.params, op.fn.body))
+        elif isinstance(op, CFilter):
+            out.append(
+                (FILTER, op.predicate.params, op.predicate.body)
+            )
+        else:  # pragma: no cover - chains only hold narrow operators
+            out.append(("?", (), None))
+    return tuple(out)
+
+
+def select_columnar(
+    root: Combinator,
+    stats: ColumnarStats | None = None,
+    trace: "CompileTrace | None" = None,
+    site: int | None = None,
+) -> Combinator:
+    """Annotate every chain in ``root`` with its execution plane."""
+    stats = stats if stats is not None else ColumnarStats()
+    consumers = consumer_counts(root)
+
+    # Chains the executor will inline into an aggregation's mapper
+    # phase (same condition as ``JobExecutor._exec_agg_by``): they
+    # stream row-at-a-time into the accumulators by construction.
+    agg_fused: set[int] = set()
+    seen = {id(root)}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if (
+            isinstance(node, CAggBy)
+            and isinstance(node.input, CChain)
+            and not node.input.shared
+            and not node.input.cache
+            and node.input.partition_hint is None
+            and consumers[id(node.input)] == 1
+        ):
+            agg_fused.add(id(node.input))
+        for child in node.inputs():
+            if id(child) not in seen:
+                seen.add(id(child))
+                stack.append(child)
+
+    memo: dict[int, Combinator] = {}
+
+    def rebuild(node: Combinator) -> Combinator:
+        key = id(node)
+        if key in memo:
+            return memo[key]
+        result = _rebuild_one(node, key)
+        memo[key] = result
+        return result
+
+    def _rebuild_one(node: Combinator, key: int) -> Combinator:
+        changes: dict[str, Combinator] = {}
+        for f in dataclasses.fields(node):
+            value = getattr(node, f.name)
+            if isinstance(value, Combinator):
+                new = rebuild(value)
+                if new is not value:
+                    changes[f.name] = new
+        if isinstance(node, CChain):
+            if key in agg_fused:
+                reason = (
+                    "fused into the downstream aggregation's mapper "
+                    "phase (streams row-at-a-time into accumulators)"
+                )
+                columnar = False
+            else:
+                reason = vectorizable_reason(chain_step_descs(node))
+                columnar = reason == ""
+            if columnar:
+                stats.columnar_chains += 1
+            else:
+                stats.row_chains += 1
+            if trace is not None:
+                trace.record(
+                    "columnar selection",
+                    "vectorize-chain",
+                    columnar,
+                    detail=(
+                        f"{node.describe()} runs batch-at-a-time "
+                        f"({len(node.ops)} step(s) vectorized)"
+                        if columnar
+                        else (
+                            f"{node.describe()} stays row-at-a-time: "
+                            f"{reason}"
+                        )
+                    ),
+                    site=site,
+                )
+            changes["columnar"] = columnar
+            changes["columnar_reason"] = reason
+        if not changes:
+            return node
+        return dataclasses.replace(node, **changes)
+
+    return rebuild(root)

@@ -41,6 +41,7 @@ from repro.comprehension.exprs import (
 from repro.comprehension.ir import BAG, Comprehension
 from repro.comprehension.normalize import NormalizeStats, normalize
 from repro.comprehension.resugar import resugar
+from repro.engines.columnar import default_columnar_mode
 from repro.engines.faults import FaultPlan, RetryPolicy
 from repro.engines.scheduler import (
     default_execution_mode,
@@ -68,6 +69,7 @@ from repro.optimizer.caching import (
     insert_cache_statements,
     plan_caching,
 )
+from repro.optimizer.columnar_select import ColumnarStats, select_columnar
 from repro.optimizer.fold_group_fusion import FusionStats, fold_group_fusion
 from repro.optimizer.inlining import inline_single_use
 from repro.optimizer.partition_pulling import (
@@ -120,6 +122,13 @@ class EmmaConfig:
     #: bit-identical across modes — only measured wall clock changes.
     #: Defaults honour ``REPRO_EXECUTION_MODE`` so CI can run whole
     #: suites under the parallel backend.
+    #: columnar batch data plane: "auto" vectorizes eligible chains
+    #: when numpy is available, "on" forces the columnar path (with a
+    #: pure-Python column fallback), "off" keeps every chain
+    #: row-at-a-time.  Results and ``simulated_seconds`` are
+    #: bit-identical either way — only wall clock and byte counters
+    #: move.  Default honours ``REPRO_COLUMNAR``.
+    columnar: str = field(default_factory=default_columnar_mode)
     execution_mode: str = field(default_factory=default_execution_mode)
     #: concurrent partition-task slots (0 = one per host CPU core);
     #: default honours ``REPRO_MAX_PARALLEL_TASKS``
@@ -176,6 +185,8 @@ class OptimizationReport:
     dataflow_sites: int = 0
     operator_chains: int = 0
     chained_operators: int = 0
+    #: chains the kernel-selection rule marked for the columnar plane
+    columnar_chains: int = 0
     physical_joins: int = 0
     elidable_shuffle_inputs: int = 0
     hoistable_shuffle_inputs: int = 0
@@ -466,6 +477,24 @@ class _SiteCompiler:
                 "chain-fuse",
                 False,
                 detail="disabled by config",
+                site=site,
+            )
+        if self.config.operator_chaining and self.config.columnar != "off":
+            col_stats = ColumnarStats()
+            plan = select_columnar(
+                plan, col_stats, trace=trace, site=site
+            )
+            self.report.columnar_chains += col_stats.columnar_chains
+        elif trace is not None:
+            trace.record(
+                "columnar selection",
+                "vectorize-chain",
+                False,
+                detail=(
+                    "disabled by config"
+                    if self.config.operator_chaining
+                    else "no fused chains without operator chaining"
+                ),
                 site=site,
             )
         self.report.dataflow_sites += 1

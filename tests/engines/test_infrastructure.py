@@ -15,6 +15,8 @@ from repro.engines.dfs import SimulatedDFS
 from repro.engines.metrics import JobRun, Metrics
 from repro.engines.sizes import (
     estimate_bag_bytes,
+    estimate_batch_bytes,
+    estimate_column_bytes,
     estimate_record_bytes,
 )
 from repro.errors import EngineError
@@ -109,6 +111,46 @@ class TestSizes:
 
     def test_empty_bag(self):
         assert estimate_bag_bytes([]) == 0
+
+    def test_tuple_estimates_pinned(self):
+        # 8 overhead + two 8-byte ints
+        assert estimate_record_bytes((1, 2)) == 24
+        # 8 overhead + two nested (1, 2)-shaped tuples
+        assert estimate_record_bytes(((1, 2), (3, 4))) == 56
+
+    def test_dict_estimate_pinned(self):
+        # 8 overhead + key "a" (4 + 1) + value tuple (24)
+        assert estimate_record_bytes({"a": (1, 2)}) == 37
+
+    def test_depth_cap_spares_scalars(self):
+        # Scalars keep their type-dispatched width at any depth; the
+        # cap only truncates recursion into containers.
+        deep_bool = True
+        deep_str = "x" * 100
+        for _ in range(7):
+            deep_bool = [deep_bool]
+            deep_str = [deep_str]
+        assert estimate_record_bytes(deep_bool) == 7 * 8 + 1
+        assert estimate_record_bytes(deep_str) == 7 * 8 + 104
+        # Containers past the cap still collapse to the overhead.
+        capped = [1]
+        for _ in range(10):
+            capped = [capped]
+        assert estimate_record_bytes(capped) == 8 * 8
+
+    def test_column_bytes(self):
+        assert estimate_column_bytes([]) == 0
+        assert estimate_column_bytes([1.5] * 10) == 80
+        # Long columns extrapolate from the sampled prefix.
+        assert estimate_column_bytes([1.0] * 1000) == pytest.approx(
+            8000, rel=0.01
+        )
+        # Strings are content-sized, like in record estimates.
+        assert estimate_column_bytes(["ab", "cdef"]) == (4 + 2) + (4 + 4)
+
+    def test_batch_bytes(self):
+        assert estimate_batch_bytes((), 0) == 0
+        assert estimate_batch_bytes((8, 8), 2) == 8 + 16
 
 
 class TestDfs:

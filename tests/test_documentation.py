@@ -134,6 +134,7 @@ SNIPPET_DOCS = (
     "README.md",
     "docs/observability.md",
     "docs/parallel_execution.md",
+    "docs/columnar.md",
 )
 
 
