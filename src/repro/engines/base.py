@@ -202,6 +202,7 @@ class Engine:
         max_parallel_tasks: int | None = None,
         speculative_execution: bool = True,
         columnar: str | None = None,
+        memory_budget: int | None = None,
     ) -> None:
         self.cluster = cluster or ClusterConfig()
         self.cost = cost or CostModel()
@@ -261,6 +262,28 @@ class Engine:
         self.configure_columnar(
             columnar if columnar is not None else default_columnar_mode()
         )
+        from repro.engines.spill import SpillManager, default_memory_budget
+
+        #: the driver's out-of-core layer: residency tracking, LRU
+        #: spill-to-disk, and the file-backed shuffle service
+        self.spill = SpillManager(self)
+        self.configure_memory(
+            memory_budget
+            if memory_budget is not None
+            else default_memory_budget()
+        )
+
+    def configure_memory(self, budget: int) -> None:
+        """Set the driver memory budget (bytes; 0 = unlimited).
+
+        Lowering the budget mid-run evicts immediately — the mechanism
+        behind the ``MEMORY_SQUEEZE`` chaos event.  Spilling is host-
+        resource mechanics only: results, ``simulated_seconds``, and
+        fault schedules are bit-identical under any budget.
+        """
+        self.spill.configure(budget)
+        if self._scheduler is not None:
+            self._scheduler.spill = self.spill if self.spill.active else None
 
     def configure_columnar(self, mode: str) -> None:
         """Select the columnar data plane mode (``auto``/``on``/``off``)."""
@@ -322,6 +345,7 @@ class Engine:
                 mode=self.execution_mode,
                 max_parallel_tasks=self.max_parallel_tasks,
                 speculation=self.speculative_execution,
+                spill=self.spill if self.spill.active else None,
             )
         return self._scheduler
 
@@ -368,6 +392,8 @@ class Engine:
             )
         if config.columnar != self.columnar_mode:
             self.configure_columnar(config.columnar)
+        if config.memory_budget != self.spill.limit:
+            self.configure_memory(config.memory_budget)
 
     def begin_run(self) -> None:
         """Reset per-run planner state (hoist cache, statistics).
@@ -376,6 +402,7 @@ class Engine:
         runs are deterministic in isolation: nothing hoisted or
         observed in an earlier run leaks into the next one.
         """
+        self.spill.drop_hoist_entries()
         self._hoist_cache.clear()
         self.stats.clear()
 
@@ -401,9 +428,16 @@ class Engine:
         # Hoisted shuffled inputs live in worker memory without
         # tombstone bookkeeping: drop them all and let the next
         # iteration recompute (and re-hoist) from the cached sources.
+        self.spill.drop_hoist_entries()
         self._hoist_cache.clear()
         for handle in list(self._cached_handles):
-            handle.mark_lost(worker, num_workers)
+            lost = handle.mark_lost(worker, num_workers)
+            if lost:
+                # A spilled partition of a dead worker lived on that
+                # worker's local disk: its spill file is unusable and
+                # the partition goes through the same lineage recovery
+                # as a resident one (identical fault schedules).
+                self.spill.on_partitions_lost(handle, lost)
         for bag in list(self._stateful_bags):
             bag.on_worker_lost(worker, job)
 
@@ -468,6 +502,7 @@ class Engine:
             for i in lost:
                 handle.bag.partitions[i] = list(rebuilt[i])
         handle.lost_partitions.clear()
+        self.spill.register_cache_partitions(handle, lost)
         self.metrics.partitions_recomputed += len(lost)
         self.metrics.recovery_seconds += job.total_seconds() - before
         if self.tracer is not None:
@@ -590,6 +625,12 @@ class Engine:
             # Writing to the in-memory store costs one local pass.
             job.charge_spread(self.cost.cpu_seconds(bag.count()))
             self.metrics.cache_write_bytes += nbytes
+            if self.spill.tracks_any(bag):
+                # Spilling mutates partition-list slots in place, so a
+                # registered handle must own its lists exclusively —
+                # re-caching a cached bag gets fresh copies (the
+                # constructor copies every partition list).
+                bag = PartitionedBag(bag.partitions, bag.partitioner)
             recovery = None
             if lineage_root is None:
                 # Driver-originated data has no dataflow lineage; keep a
@@ -605,6 +646,8 @@ class Engine:
                 recovery_partitions=recovery,
             )
             self._cached_handles.add(handle)
+            self.spill.pin_handle(handle)
+            self.spill.register_cache_partitions(handle)
             return handle
         # DFS-backed cache: pay a distributed write now ...
         self._cache_seq += 1
@@ -621,6 +664,12 @@ class Engine:
         """Access a cached bag, charging per the storage medium."""
         if handle.lost_partitions:
             self._recover_handle(handle, job)
+        if handle.storage == "memory":
+            # Reload any spilled partitions before the bag escapes (and
+            # pin the handle for the rest of the job).  Reloads charge
+            # no simulated time, so the accounting below is identical
+            # whether or not the bag ever left memory.
+            self.spill.unspill_handle(handle)
         nbytes = handle.bag.nbytes()
         if handle.storage == "memory":
             self.metrics.cache_read_bytes += nbytes
@@ -656,6 +705,15 @@ class Engine:
             self.metrics.columnar_kernels,
             self.metrics.columnar_fallbacks,
         )
+        job.spill_start = (
+            self.metrics.spill_bytes_written,
+            self.metrics.spill_bytes_read,
+            self.metrics.partitions_spilled,
+            self.metrics.partitions_reloaded,
+            self.metrics.external_merge_passes,
+            self.metrics.budget_evictions,
+        )
+        self.spill.begin_job(job)
         job.wall_started = time.perf_counter()
         return job
 
@@ -668,6 +726,7 @@ class Engine:
         # allowed to differ between execution modes.
         wall = time.perf_counter() - job.wall_started
         self.metrics.wall_clock_seconds += wall
+        self.spill.end_job()
         if self.tracer is not None and job.span is not None:
             extra: dict[str, Any] = {}
             batches = (
@@ -684,6 +743,28 @@ class Engine:
                 extra["columnar_batches"] = batches
                 extra["columnar_kernels"] = kernels
                 extra["columnar_fallbacks"] = fallbacks
+            spill_now = (
+                self.metrics.spill_bytes_written,
+                self.metrics.spill_bytes_read,
+                self.metrics.partitions_spilled,
+                self.metrics.partitions_reloaded,
+                self.metrics.external_merge_passes,
+                self.metrics.budget_evictions,
+            )
+            if spill_now != job.spill_start:
+                names = (
+                    "spill_bytes_written",
+                    "spill_bytes_read",
+                    "partitions_spilled",
+                    "partitions_reloaded",
+                    "external_merge_passes",
+                    "budget_evictions",
+                )
+                for name, now, start in zip(
+                    names, spill_now, job.spill_start
+                ):
+                    if now - start:
+                        extra[name] = now - start
             self.tracer.end_at_duration(
                 job.span,
                 job_time,

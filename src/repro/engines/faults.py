@@ -63,8 +63,11 @@ if TYPE_CHECKING:  # pragma: no cover
 CRASH = "crash"
 WORKER_LOSS = "worker_loss"
 STRAGGLER = "straggler"
+#: chaos event for the out-of-core layer: shrink the driver memory
+#: budget mid-run (forcing spills) without any simulated-time charge
+MEMORY_SQUEEZE = "memory_squeeze"
 
-_KINDS = frozenset({CRASH, WORKER_LOSS, STRAGGLER})
+_KINDS = frozenset({CRASH, WORKER_LOSS, STRAGGLER, MEMORY_SQUEEZE})
 
 
 @dataclass(frozen=True)
@@ -76,6 +79,9 @@ class FaultEvent:
     ``attempts`` applies to crashes: how many consecutive attempts of
     the task fail before it succeeds (``attempts >=``
     :attr:`RetryPolicy.max_attempts` makes the task fail permanently).
+    ``budget`` applies to memory squeezes: the new driver memory budget
+    in bytes (spilling is host mechanics, so a squeeze changes no
+    simulated observable — it just forces the spill machinery to work).
     """
 
     kind: str
@@ -84,6 +90,7 @@ class FaultEvent:
     partition: int | None = None
     worker: int | None = None
     attempts: int = 1
+    budget: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -168,6 +175,35 @@ class FaultPlan:
                 FaultEvent(CRASH, task=3),
                 FaultEvent(STRAGGLER, task=5),
                 FaultEvent(WORKER_LOSS, task=11),
+            ),
+        )
+
+    @staticmethod
+    def spill_pressure(
+        seed: int = 29, budget: int = 64 * 1024
+    ) -> "FaultPlan":
+        """Spill-under-pressure chaos: squeeze the budget, then crash.
+
+        The memory budget collapses to ``budget`` bytes early in the
+        run (evicting resident partitions to spill files), then the
+        aggressive-style fault mix fires *while* the engine is
+        operating out of core — crashes retried mid-spill, a worker
+        lost while its cached partitions sit in spill files.  Results
+        must still be bit-identical to an unconstrained fault-free run.
+        """
+        return FaultPlan(
+            seed=seed,
+            task_crash_prob=0.03,
+            worker_loss_prob=0.01,
+            straggler_prob=0.03,
+            max_task_crashes=64,
+            max_worker_losses=8,
+            max_stragglers=64,
+            events=(
+                FaultEvent(MEMORY_SQUEEZE, task=2, budget=budget),
+                FaultEvent(CRASH, task=4),
+                FaultEvent(STRAGGLER, task=6),
+                FaultEvent(WORKER_LOSS, task=12),
             ),
         )
 
@@ -261,6 +297,18 @@ class FaultInjector:
             if not event.matches(job_index, task, partition, worker):
                 continue
             self._fired_events.add(idx)
+            if event.kind == MEMORY_SQUEEZE:
+                # Pure host-resource chaos: re-budget (and spill) now,
+                # charging nothing — the simulation must not notice.
+                if tracer := engine.tracer:
+                    tracer.event(
+                        f"fault:{MEMORY_SQUEEZE}",
+                        ts=job.trace_ts(),
+                        task=task,
+                        budget=event.budget,
+                    )
+                engine.configure_memory(event.budget)
+                continue
             self._apply(
                 event.kind,
                 engine,

@@ -122,6 +122,27 @@ class Metrics:
     #: (unsupported record layout, binding values, mixed partitions)
     columnar_fallbacks: int = 0
 
+    # -- memory-budgeted out-of-core execution ------------------------------
+    # Spill traffic is host-resource mechanics: these counters (and wall
+    # clock) are the only things a finite memory budget is allowed to
+    # move — results, simulated_seconds, and fault schedules stay
+    # bit-identical spill-on vs spill-off.
+    #: real bytes written to the DFS spill tier (evictions, external
+    #: merge runs, file-backed shuffle payloads)
+    spill_bytes_written: int = 0
+    #: real bytes read back from the spill tier (reloads, merges,
+    #: worker-side shuffle-file resolution)
+    spill_bytes_read: int = 0
+    #: resident partitions evicted to spill files under budget pressure
+    partitions_spilled: int = 0
+    #: spilled partitions lazily reloaded on their next access
+    partitions_reloaded: int = 0
+    #: group-by partitions grouped through external run-merge instead
+    #: of all-in-memory materialization (graceful degradation)
+    external_merge_passes: int = 0
+    #: budget-pressure evictions performed (any owner kind)
+    budget_evictions: int = 0
+
     def snapshot(self) -> "Metrics":
         """A copy of the current counters (for before/after deltas)."""
         return Metrics(**vars(self))
@@ -167,9 +188,34 @@ class Metrics:
                 f"col_batches={self.columnar_batches_built} "
                 f"col_fallbacks={self.columnar_fallbacks}"
             )
+        if self.spill_happened:
+            base += " | " + self.spill_summary()
         if self.recovery_happened:
             base += " | " + self.recovery_summary()
         return base
+
+    @property
+    def spill_happened(self) -> bool:
+        """Whether the out-of-core layer did any work this run."""
+        return bool(
+            self.spill_bytes_written
+            or self.spill_bytes_read
+            or self.partitions_spilled
+            or self.partitions_reloaded
+            or self.external_merge_passes
+            or self.budget_evictions
+        )
+
+    def spill_summary(self) -> str:
+        """The out-of-core accounting as one human-readable line."""
+        return (
+            f"spill_w={_fmt_bytes(self.spill_bytes_written)} "
+            f"spill_r={_fmt_bytes(self.spill_bytes_read)} "
+            f"spilled={self.partitions_spilled} "
+            f"reloaded={self.partitions_reloaded} "
+            f"ext_merges={self.external_merge_passes} "
+            f"evictions={self.budget_evictions}"
+        )
 
     @property
     def recovery_happened(self) -> bool:
@@ -232,6 +278,10 @@ class JobRun:
         #: columnar counter snapshot (batches, kernels, fallbacks) at
         #: job start — the job span reports the per-job deltas
         self.columnar_start = (0, 0, 0)
+        #: spill counter snapshot (bytes written, bytes read, spilled,
+        #: reloaded, external merges, evictions) at job start — the job
+        #: span reports the per-job deltas
+        self.spill_start = (0, 0, 0, 0, 0, 0)
 
     def charge_worker(self, worker: int, seconds: float) -> None:
         """Add busy time to one worker (index wraps)."""

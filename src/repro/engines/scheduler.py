@@ -826,8 +826,18 @@ def _prepare_memoized(spec: TaskSpec) -> tuple[Any, bool]:
 
 
 def _process_entry(payload: bytes) -> bytes:
-    """Worker-side task body: unpickle, rehydrate, run, pickle back."""
+    """Worker-side task body: unpickle, rehydrate, run, pickle back.
+
+    Large partition data arrives as a :class:`~repro.engines.spill.
+    SpillFileRef` instead of inline bytes (the file-backed shuffle):
+    the worker resolves the ref against the shared host filesystem
+    before running, so only the small ref ever crosses the pipe.
+    """
+    from repro.engines.spill import SpillFileRef, load_payload_file
+
     spec, data = pickle.loads(payload)
+    if isinstance(data, SpillFileRef):
+        data = load_payload_file(data)
     started = time.perf_counter()
     prepared, rehydrated = _prepare_memoized(spec)
     value = _RUNNERS[spec.kind](prepared, data)
@@ -924,6 +934,7 @@ class TaskScheduler:
         speculation_factor: float = 1.5,
         max_speculative_per_stage: int = 2,
         min_speculation_seconds: float = 0.05,
+        spill: Any = None,
     ) -> None:
         if mode not in EXECUTION_MODES:
             raise EngineError(
@@ -943,6 +954,13 @@ class TaskScheduler:
         self.min_speculation_seconds = min_speculation_seconds
         #: (name, attrs) pairs for the engine to drain into its tracer
         self.events: list[tuple[str, dict[str, Any]]] = []
+        #: the engine's :class:`~repro.engines.spill.SpillManager` when
+        #: a finite memory budget enables the file-backed shuffle —
+        #: large processes-mode payloads then travel as spill-file refs
+        self.spill = spill
+        #: shuffle spill files shipped for the in-flight graph, deleted
+        #: when the graph run finishes (speculative copies re-read them)
+        self._shipped_refs: list[Any] = []
         self._thread_pool: ThreadPoolExecutor | None = None
 
     # -- public API --------------------------------------------------------
@@ -981,6 +999,11 @@ class TaskScheduler:
                 )
             )
             return self._run_serial(order)
+        finally:
+            if self._shipped_refs and self.spill is not None:
+                for ref in self._shipped_refs:
+                    self.spill.delete_ref(ref)
+            self._shipped_refs.clear()
 
     def close(self) -> None:
         """Release the scheduler's thread pool (process pool is shared)."""
@@ -1052,7 +1075,17 @@ class TaskScheduler:
         """Submit one task; returns the future plus its payload bytes
         (kept for speculative resubmission in processes mode)."""
         if self.mode == "processes":
-            payload = ship_task(task.spec, task.data, task.label)
+            if self.spill is not None:
+                payload, ref = self.spill.ship_task_payload(
+                    task.spec, task.data, task.label
+                )
+                if ref is not None:
+                    self._shipped_refs.append(ref)
+                    # Counted once per task at submit (driver-side) so
+                    # the metric stays deterministic under speculation.
+                    self.spill.count_ref_read(ref)
+            else:
+                payload = ship_task(task.spec, task.data, task.label)
             if metrics is not None:
                 metrics.ipc_bytes_shipped += len(payload)
             return pool.submit(_process_entry, payload), payload

@@ -39,8 +39,9 @@ class EngineError(EmmaError):
     Engine failures carry their execution context so callers (the
     experiment runner, reports) can show how far a failed run got:
     ``metrics`` is a snapshot of the partial accounting at raise time,
-    and ``job``/``task``/``partition``/``worker`` locate the failing
-    unit of work when known.
+    ``job``/``task``/``partition``/``worker`` locate the failing unit
+    of work when known, and ``operator`` names the physical operator
+    (e.g. ``"group_by"``) that was executing.
     """
 
     def __init__(
@@ -51,6 +52,7 @@ class EngineError(EmmaError):
         task: int | None = None,
         partition: int | None = None,
         worker: int | None = None,
+        operator: str | None = None,
         metrics: object | None = None,
     ) -> None:
         super().__init__(message)
@@ -58,6 +60,7 @@ class EngineError(EmmaError):
         self.task = task
         self.partition = partition
         self.worker = worker
+        self.operator = operator
         self.metrics = metrics
 
     def failure_site(self) -> dict[str, int]:
@@ -107,6 +110,11 @@ class SimulatedMemoryError(EngineError):
 
     This reproduces the paper's observation that, without fold-group
     fusion, group materialization can make an algorithm fail outright.
+    Like :class:`TaskFailedError`, the exception carries its failing
+    coordinates (``job``/``partition``/``worker``/``operator``) and a
+    metrics snapshot so over-budget aborts are debuggable; a finite
+    driver ``memory_budget`` turns this error into graceful external-
+    merge degradation instead (see ``docs/out_of_core.md``).
     """
 
     def __init__(
@@ -115,16 +123,21 @@ class SimulatedMemoryError(EngineError):
         used_bytes: int,
         limit_bytes: int,
         *,
+        job: int | None = None,
         partition: int | None = None,
+        operator: str | None = None,
         metrics: object | None = None,
     ) -> None:
         self.used_bytes = used_bytes
         self.limit_bytes = limit_bytes
         super().__init__(
             f"worker {worker} exceeded memory limit: used {used_bytes} "
-            f"of {limit_bytes} bytes",
+            f"of {limit_bytes} bytes"
+            + (f" while materializing {operator!r} groups" if operator else ""),
             worker=worker,
+            job=job,
             partition=partition,
+            operator=operator,
             metrics=metrics,
         )
 

@@ -42,6 +42,7 @@ from repro.comprehension.ir import BAG, Comprehension
 from repro.comprehension.normalize import NormalizeStats, normalize
 from repro.comprehension.resugar import resugar
 from repro.engines.columnar import default_columnar_mode
+from repro.engines.spill import default_memory_budget
 from repro.engines.faults import FaultPlan, RetryPolicy
 from repro.engines.scheduler import (
     default_execution_mode,
@@ -137,6 +138,17 @@ class EmmaConfig:
     )
     #: re-launch straggler partition tasks (first result wins)
     speculative_execution: bool = True
+    #: driver memory budget in bytes for the out-of-core layer
+    #: (:mod:`repro.engines.spill`): resident cached partitions, hoist
+    #: caches, and columnar batches above the budget are LRU-spilled to
+    #: real temp files and lazily reloaded; over-limit group
+    #: materializations degrade to external run-merge instead of
+    #: raising ``SimulatedMemoryError``.  ``0`` (the default) keeps
+    #: everything resident.  Results, ``simulated_seconds``, and fault
+    #: schedules are bit-identical under any budget — only wall clock
+    #: and the ``spill_*`` metrics move.  Default honours
+    #: ``REPRO_MEMORY_BUDGET``.
+    memory_budget: int = field(default_factory=default_memory_budget)
 
     @staticmethod
     def none() -> "EmmaConfig":
@@ -320,6 +332,12 @@ class CompiledProgram:
             blocks.append(
                 f"-- execution: mode={self.report.config.execution_mode}"
                 f" max-task-width={task_width} --"
+            )
+        if self.report.config.memory_budget:
+            blocks.append(
+                "-- memory: budget="
+                f"{self.report.config.memory_budget}B"
+                " spill=lru-to-disk group-overflow=external-merge --"
             )
         for i, (expr, plan, in_loop) in enumerate(self.sites):
             suffix = " (in loop)" if in_loop else ""

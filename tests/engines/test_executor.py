@@ -239,6 +239,7 @@ class TestGroupingAndAggregation:
     def test_group_by_memory_bound(self):
         eng = engine(
             cost=CostModel(memory_per_worker=64),  # absurdly small
+            memory_budget=0,  # no spill tier: the raise must survive
         )
         plan = CGroupBy(key=key_k(), input=CBagRef(name="xs"))
         env = {"xs": DataBag([R(1, i) for i in range(100)])}

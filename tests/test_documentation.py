@@ -135,6 +135,7 @@ SNIPPET_DOCS = (
     "docs/observability.md",
     "docs/parallel_execution.md",
     "docs/columnar.md",
+    "docs/out_of_core.md",
 )
 
 

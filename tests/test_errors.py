@@ -115,6 +115,7 @@ class TestSimulatedMemoryError:
         engine = SparkLikeEngine(
             cluster=ClusterConfig(num_workers=4),
             cost=CostModel(memory_per_worker=8),
+            memory_budget=0,  # no spill tier: the raise must survive
         )
         env = {"xs": DataBag(list(range(200)))}
         with pytest.raises(SimulatedMemoryError) as info:
