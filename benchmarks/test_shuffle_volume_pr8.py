@@ -1,0 +1,114 @@
+"""Shuffle-volume regression bench — UDF-aware reordering (PR 8).
+
+Guards the tentpole win with a hard floor, printed as paper-style rows
+and exported to ``BENCH_pr8.json`` in CI: on the UDF-styled TPC-H Q4
+(all three selections phrased as black-box lambdas over the join pair,
+which the comprehension calculus cannot push), read/write-set
+inference must push every filter below the orders × lineitems join and
+cut ``shuffle_bytes`` by at least 1.5x against the reordering-off
+baseline — at repr-identical results.
+
+Both configurations run under a small broadcast threshold so the join
+is realized by repartitioning — the regime where pushdown removes
+shuffled bytes; with a huge threshold both configurations would
+broadcast the build side and the comparison would measure nothing.
+"""
+
+from conftest import run_once
+
+from repro.engines.dfs import SimulatedDFS
+from repro.engines.sparklike import SparkLikeEngine
+from repro.optimizer.pipeline import EmmaConfig
+from repro.workloads.tpch import stage_tpch, tpch_q4_udf
+
+REORDER_ON = EmmaConfig(udf_reordering="auto")
+REORDER_OFF = EmmaConfig(udf_reordering="off")
+
+#: below both the raw and the filtered join build side — forces both
+#: configurations to repartition instead of broadcasting
+THRESHOLD = 512
+
+SCALE_FACTOR = 0.1
+
+Q4_PARAMS = dict(date_min="1994-01-01", date_max="1994-07-01")
+
+
+def _metrics_row(name, m, report):
+    row = {
+        "workload": name,
+        "bytes_shuffled": m.shuffle_bytes,
+        "simulated_seconds": round(m.simulated_seconds, 6),
+        "reorders_applied": report.reorders_applied,
+        "reorders_rejected": report.reorders_rejected,
+        "udfs_analyzed": report.udfs_analyzed,
+    }
+    print(
+        f"{name:>18}: {m.shuffle_bytes:>10} bytes shuffled, "
+        f"{m.simulated_seconds:8.3f} s, "
+        f"reorders={report.reorders_applied}"
+        f"(-{report.reorders_rejected} rejected) "
+        f"udfs_analyzed={report.udfs_analyzed}"
+    )
+    return row
+
+
+def _run_q4_udf(dfs, paths, config):
+    engine = SparkLikeEngine(dfs=dfs)
+    engine.broadcast_join_threshold = THRESHOLD
+    orders_path, lineitem_path = paths
+    result = tpch_q4_udf.run(
+        engine,
+        config=config,
+        orders_path=orders_path,
+        lineitem_path=lineitem_path,
+        **Q4_PARAMS,
+    )
+    records = [repr(r) for r in result.fetch()]
+    return engine.metrics, tpch_q4_udf.report(config), records
+
+
+class TestQ4UdfPushdown:
+    def test_reordering_cuts_shuffle_volume(self, benchmark):
+        def experiment():
+            dfs = SimulatedDFS()
+            paths = stage_tpch(dfs, sf=SCALE_FACTOR)
+            off = _run_q4_udf(dfs, paths, REORDER_OFF)
+            on = _run_q4_udf(dfs, paths, REORDER_ON)
+            return off, on
+
+        off, on = run_once(benchmark, experiment)
+        off_metrics, off_report, off_records = off
+        on_metrics, on_report, on_records = on
+        print()
+        _metrics_row("q4-udf (off)", off_metrics, off_report)
+        row = _metrics_row("q4-udf (on)", on_metrics, on_report)
+        ratio = off_metrics.shuffle_bytes / max(
+            on_metrics.shuffle_bytes, 1
+        )
+        print(f"    bytes_shuffled reduction: {ratio:.2f}x")
+        benchmark.extra_info.update(row)
+        benchmark.extra_info["baseline_bytes_shuffled"] = (
+            off_metrics.shuffle_bytes
+        )
+        benchmark.extra_info["baseline_simulated_seconds"] = round(
+            off_metrics.simulated_seconds, 6
+        )
+        benchmark.extra_info["reduction_factor"] = round(ratio, 3)
+
+        # Reordering must never change the answer...
+        assert on_records == off_records
+        # ...the baseline must be what the gate claims: the calculus
+        # alone pushes nothing, the pass pushes all three filters...
+        assert off_report.reorders_applied == 0
+        assert "pushed-below-join" not in tpch_q4_udf.explain(
+            REORDER_OFF
+        )
+        assert on_report.reorders_applied >= 3
+        assert "pushed-below-join" in tpch_q4_udf.explain(REORDER_ON)
+        # ...and the pushdown must pay: strictly fewer shuffled bytes,
+        # with at least a 1.5x reduction (acceptance floor).
+        assert on_metrics.shuffle_bytes < off_metrics.shuffle_bytes
+        assert (
+            on_metrics.shuffle_bytes * 3
+            <= off_metrics.shuffle_bytes * 2
+        )

@@ -383,7 +383,14 @@ class Call(Expr):
     def evaluate(self, env: Env) -> Any:
         fn = self.func.evaluate(env)
         args = [a.evaluate(env) for a in self.args]
-        kwargs = {k: v.evaluate(env) for k, v in self.kwargs}
+        kwargs: dict[str, Any] = {}
+        for k, v in self.kwargs:
+            if k == "**":
+                # A lifted ``**mapping`` expansion: splice the mapping
+                # in place, preserving Python's call-site ordering.
+                kwargs.update(v.evaluate(env))
+            else:
+                kwargs[k] = v.evaluate(env)
         return fn(*args, **kwargs)
 
 

@@ -103,7 +103,10 @@ def pretty(expr: Expr) -> str:
         )
     if isinstance(expr, Call):
         args = [pretty(a) for a in expr.args]
-        args += [f"{k}={pretty(v)}" for k, v in expr.kwargs]
+        args += [
+            f"**{pretty(v)}" if k == "**" else f"{k}={pretty(v)}"
+            for k, v in expr.kwargs
+        ]
         return f"{pretty(expr.func)}({', '.join(args)})"
     if isinstance(expr, Lambda):
         params = ", ".join(expr.params)

@@ -122,6 +122,19 @@ class Metrics:
     #: (unsupported record layout, binding values, mixed partitions)
     columnar_fallbacks: int = 0
 
+    # -- UDF-aware operator reordering --------------------------------------
+    # Compile-time decisions copied from the OptimizationReport by
+    # ``Algorithm.run`` so one metrics object tells the whole story;
+    # identical across execution modes (compilation is mode-independent).
+    #: UDF read/write-set analyses performed by the reordering pass
+    udfs_analyzed: int = 0
+    #: operator reorderings applied (filters pushed below joins,
+    #: groupings, distincts; filters swapped before maps)
+    reorders_applied: int = 0
+    #: reorderings rejected on cost grounds (would invalidate a
+    #: hoisted loop-invariant shuffle)
+    reorders_rejected: int = 0
+
     # -- memory-budgeted out-of-core execution ------------------------------
     # Spill traffic is host-resource mechanics: these counters (and wall
     # clock) are the only things a finite memory budget is allowed to
@@ -181,6 +194,12 @@ class Metrics:
                 f"spec={self.speculative_launches}"
                 f"({self.speculative_wins} won) "
                 f"fallbacks={self.serial_fallbacks}"
+            )
+        if self.reorders_applied or self.reorders_rejected:
+            base += (
+                f" | reorders={self.reorders_applied}"
+                f"(-{self.reorders_rejected} rejected) "
+                f"udfs_analyzed={self.udfs_analyzed}"
             )
         if self.columnar_kernels or self.columnar_fallbacks:
             base += (

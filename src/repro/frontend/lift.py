@@ -536,10 +536,6 @@ class _Lifter:
     # -- calls ---------------------------------------------------------------
 
     def _lift_call(self, node: ast.Call) -> Expr:
-        if node.keywords and any(k.arg is None for k in node.keywords):
-            raise LiftError(
-                f"line {node.lineno}: **kwargs expansion is not supported"
-            )
         func = node.func
         intrinsic = self._intrinsic_name(func)
         if intrinsic is not None:
@@ -548,13 +544,17 @@ class _Lifter:
             lifted = self._try_lift_method(func, node)
             if lifted is not None:
                 return lifted
+        # ``**mapping`` expansion lifts as a ``("**", expr)`` kwargs
+        # entry; ``Call.evaluate`` splices the mapping at call time.
+        # The read/write-set analysis treats a ``**`` over UDF data as
+        # its conservative TOP element.
         return Call(
             func=self.lift_expr(func),
             args=tuple(self.lift_expr(a) for a in node.args),
             kwargs=tuple(
-                (k.arg, self.lift_expr(k.value))
+                (k.arg if k.arg is not None else "**",
+                 self.lift_expr(k.value))
                 for k in node.keywords
-                if k.arg is not None
             ),
         )
 

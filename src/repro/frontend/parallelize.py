@@ -122,6 +122,16 @@ class Algorithm:
         if config is not None and hasattr(engine, "apply_runtime_config"):
             engine.apply_runtime_config(config)
         compiled = self.compiled(config)
+        metrics = getattr(engine, "metrics", None)
+        if metrics is not None:
+            # Surface the compile-time reordering decisions alongside
+            # the runtime counters; compilation is mode-independent, so
+            # these stay identical across execution backends.
+            metrics.udfs_analyzed += compiled.report.udfs_analyzed
+            metrics.reorders_applied += compiled.report.reorders_applied
+            metrics.reorders_rejected += (
+                compiled.report.reorders_rejected
+            )
         tracer = getattr(engine, "tracer", None)
         if tracer is None:
             return run_compiled(

@@ -151,6 +151,10 @@ class Combinator:
     cache: bool = field(default=False, compare=False)
     partition_hint: ScalarFn | None = field(default=None, compare=False)
     phys: PhysProps | None = field(default=None, compare=False)
+    #: set by the UDF-aware reordering pass on operators it moved, e.g.
+    #: ``"pushed-below-join: reads {commit_date, receipt_date}"``;
+    #: rendered inline by :func:`explain`
+    reorder_note: str = field(default="", compare=False)
 
     def inputs(self) -> tuple["Combinator", ...]:
         """The upstream dataflow nodes this combinator consumes."""
@@ -522,6 +526,13 @@ def explain(
         described.startswith("Chain[") or marker
     ):
         marker += f" [tasks<={task_width}]"
+    notes = [root.reorder_note] if root.reorder_note else []
+    if isinstance(root, CChain):
+        # Chaining preserves the original narrow operators in ``ops``,
+        # so a moved filter's annotation survives fusion.
+        notes.extend(op.reorder_note for op in root.ops if op.reorder_note)
+    for note in notes:
+        marker += f" [{note}]"
     lines = ["  " * indent + described + marker + suffix]
     for child in root.inputs():
         lines.append(explain(child, indent + 1, task_width=task_width))

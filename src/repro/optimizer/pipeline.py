@@ -78,6 +78,13 @@ from repro.optimizer.partition_pulling import (
     choose_partition_keys,
     collect_partition_uses,
 )
+from repro.optimizer.physical_props import (
+    PlanContext,
+    annotate_physical,
+    loop_mutated_names,
+)
+from repro.optimizer.reorder import ReorderStats, reorder_operators
+from repro.optimizer.udf_analysis import default_udf_reordering
 
 
 @dataclass(frozen=True)
@@ -103,6 +110,14 @@ class EmmaConfig:
     #: choice, loop-invariant hoist cache, and partitioner propagation
     #: follow it (not a Table 1 row; a post-paper physical-layer pass)
     physical_planning: bool = True
+    #: UDF-aware operator reordering (:mod:`repro.optimizer.reorder`):
+    #: "auto" infers field-level read/write sets over lifted UDF bodies
+    #: and pushes filters below joins/groupings (and before maps) the
+    #: comprehension calculus cannot move; "off" leaves black-box UDFs
+    #: in place.  Results are bit-identical either way — only data
+    #: volumes (shuffled bytes, operator input sizes) and therefore
+    #: simulated costs move.  Default honours ``REPRO_UDF_REORDERING``.
+    udf_reordering: str = field(default_factory=default_udf_reordering)
 
     # Runtime (not compile-time) knobs, applied to the engine by
     # ``Algorithm.run``: they do not change the compiled plans, only
@@ -161,6 +176,7 @@ class EmmaConfig:
             partition_pulling=False,
             operator_chaining=False,
             physical_planning=False,
+            udf_reordering="off",
         )
 
     @staticmethod
@@ -202,6 +218,11 @@ class OptimizationReport:
     physical_joins: int = 0
     elidable_shuffle_inputs: int = 0
     hoistable_shuffle_inputs: int = 0
+    #: UDF read/write-set analyses performed by the reordering pass
+    udfs_analyzed: int = 0
+    #: operator reorderings the pass applied / rejected on cost grounds
+    reorders_applied: int = 0
+    reorders_rejected: int = 0
 
     @property
     def unnesting_applied(self) -> bool:
@@ -228,6 +249,10 @@ class OptimizationReport:
         return bool(
             self.elidable_shuffle_inputs or self.hoistable_shuffle_inputs
         )
+
+    @property
+    def udf_reordering_applied(self) -> bool:
+        return self.reorders_applied > 0
 
     def table1_row(self) -> dict[str, bool]:
         """The applicability row: optimization name -> applied."""
@@ -359,10 +384,12 @@ class _SiteCompiler:
         config: EmmaConfig,
         report: OptimizationReport,
         trace: CompileTrace | None = None,
+        loop_mutated: frozenset[str] = frozenset(),
     ) -> None:
         self.config = config
         self.report = report
         self.trace = trace
+        self.loop_mutated = loop_mutated
         self.bag_names: set[str] = set()
         self.stateful_names: set[str] = set()
         self.partition_uses: list[PartitionUse] = []
@@ -467,6 +494,42 @@ class _SiteCompiler:
                 detail="comprehension realized as a combinator dataflow",
                 site=site,
                 after=plan,
+            )
+        if self.config.udf_reordering != "off":
+            reorder_stats = ReorderStats()
+            reorder_ctx = PlanContext(
+                in_loop=self._in_loop,
+                cached_names=frozenset(
+                    d.name for d in self.report.cache_decisions
+                ),
+                stateful_names=frozenset(self.stateful_names),
+                loop_mutated=self.loop_mutated,
+            )
+            before_events = len(trace) if trace is not None else 0
+            plan = reorder_operators(
+                plan, reorder_stats, reorder_ctx, trace=trace, site=site
+            )
+            self.report.udfs_analyzed += reorder_stats.udfs_analyzed
+            self.report.reorders_applied += reorder_stats.applied
+            self.report.reorders_rejected += reorder_stats.rejected
+            if trace is not None and len(trace) == before_events:
+                trace.record(
+                    "udf reordering",
+                    "push-filter",
+                    False,
+                    detail=(
+                        "no movable filter above a join/grouping/map "
+                        "in this plan"
+                    ),
+                    site=site,
+                )
+        elif trace is not None:
+            trace.record(
+                "udf reordering",
+                "push-filter",
+                False,
+                detail="disabled by config",
+                site=site,
             )
         if self.config.operator_chaining:
             chain_stats = ChainStats()
@@ -670,8 +733,16 @@ def compile_program(
             "caching", "cache-insert", False, detail="disabled by config"
         )
 
-    # 3. Per-site compilation.
-    compiler = _SiteCompiler(config, report, trace=trace)
+    # 3. Per-site compilation.  Loop-mutated names are collected up
+    # front so the per-site reordering pass can consult them (the
+    # mutation structure of the driver IR does not change when sites
+    # are replaced by plans).
+    compiler = _SiteCompiler(
+        config,
+        report,
+        trace=trace,
+        loop_mutated=loop_mutated_names(program),
+    )
     compiler.bag_names |= set(program.bag_params)
     compiled_body = compiler.compile_block(program.body)
     compiled = program.with_body(compiled_body)
@@ -722,16 +793,10 @@ def compile_program(
     # input motion classes, and plan-time join strategies.
     sites = compiler.sites
     if config.physical_planning:
-        from repro.optimizer.physical_props import (
-            PlanContext,
-            annotate_physical,
-            loop_mutated_names,
-        )
-
         cached_names = frozenset(
             d.name for d in report.cache_decisions
         )
-        mutated = loop_mutated_names(compiled)
+        mutated = compiler.loop_mutated
         plan_map: dict[int, Combinator] = {}
         new_sites: list[tuple[Expr, Combinator, bool]] = []
         for idx, (expr, plan, in_loop) in enumerate(sites):

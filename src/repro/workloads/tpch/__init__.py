@@ -9,7 +9,7 @@ fusion over six aggregates; Q4 additionally exercises exists-unnesting
 
 from repro.workloads.tpch.datagen import generate_tpch, stage_tpch
 from repro.workloads.tpch.q1 import Q1Result, tpch_q1
-from repro.workloads.tpch.q4 import tpch_q4
+from repro.workloads.tpch.q4 import tpch_q4, tpch_q4_udf
 from repro.workloads.tpch.schema import LineItem, Order
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "Q1Result",
     "tpch_q1",
     "tpch_q4",
+    "tpch_q4_udf",
     "LineItem",
     "Order",
 ]

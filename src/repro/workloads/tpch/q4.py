@@ -39,3 +39,38 @@ def tpch_q4(orders_path, lineitem_path, date_min, date_max):
         for g in matching.group_by(lambda o: o.order_priority)
     )
     return result
+
+
+@parallelize
+def tpch_q4_udf(orders_path, lineitem_path, date_min, date_max):
+    """Q4 written imperatively, with the selections as chained UDFs.
+
+    Semantically identical to :func:`tpch_q4`, but every predicate is
+    a black-box lambda applied *after* the join: the comprehension
+    calculus cannot push any of them (each lambda's body mentions the
+    whole join pair), so with ``udf_reordering="off"`` the full
+    orders × lineitems join shuffles unfiltered.  The UDF-aware
+    reordering pass proves via read-set inference that each filter
+    reads one pair side only and pushes all three below the join —
+    the workload behind the PR 8 shuffle-volume gate.
+    """
+    lineitems = read(lineitem_path, _LINEITEM_FORMAT)
+    orders = read(orders_path, _ORDERS_FORMAT)
+    pairs = (
+        (o, li)
+        for o in orders
+        for li in lineitems
+        if o.order_key == li.order_key
+    )
+    late = pairs.with_filter(
+        lambda p: p[1].commit_date < p[1].receipt_date
+    )
+    in_window = late.with_filter(
+        lambda p: p[0].order_date >= date_min
+    ).with_filter(lambda p: p[0].order_date < date_max)
+    candidates = in_window.map(lambda p: p[0]).distinct()
+    result = (
+        (g.key, g.values.count())
+        for g in candidates.group_by(lambda o: o.order_priority)
+    )
+    return result

@@ -9,6 +9,7 @@ import repro.api as emma
 from repro.api import DataBag, LocalEngine, SparkLikeEngine
 from repro.comprehension.exprs import (
     Call,
+    Env,
     FoldCall,
     MapCall,
     ReadCall,
@@ -155,9 +156,16 @@ class TestStatementErrors:
         with pytest.raises(LiftError, match="while/else"):
             lift_function(f)
 
-    def test_starred_call_rejected(self):
+    def test_double_star_call_lifts_as_expansion_entry(self):
+        # ``**mapping`` lifts as a ("**", expr) kwargs entry that
+        # Call.evaluate splices back in at call time.
         def f(x, fn):
-            return fn(**x)
+            return fn(a=1, **x)
 
-        with pytest.raises(LiftError, match="kwargs"):
-            lift_function(f)
+        lifted = lift_function(f)
+        ret = lifted.program.body[-1]
+        call = ret.value
+        assert ("**" in [k for k, _ in call.kwargs])
+        assert call.evaluate(
+            Env.of({"x": {"b": 2}, "fn": lambda a, b: a + b})
+        ) == 3

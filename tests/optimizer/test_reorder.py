@@ -1,0 +1,468 @@
+"""Unit tests for the UDF-aware reordering pass at combinator level.
+
+Each rule is exercised fired, skipped, and (for the cost consult)
+rejected, plus the fixpoint composition of rules.
+"""
+
+from repro.comprehension.exprs import (
+    Attr,
+    BinOp,
+    Call,
+    Compare,
+    Const,
+    Index,
+    Ref,
+    TupleExpr,
+)
+from repro.engines.tracing import CompileTrace
+from repro.lowering.combinators import (
+    CAggBy,
+    CBagRef,
+    CCross,
+    CDistinct,
+    CEqJoin,
+    CFilter,
+    CGroupBy,
+    CMap,
+    CSemiJoin,
+    CUnion,
+    Combinator,
+    ScalarFn,
+    explain,
+)
+from repro.optimizer.physical_props import PlanContext
+from repro.optimizer.reorder import ReorderStats, reorder_operators
+
+
+def key_on(attr_name: str, var: str = "x") -> ScalarFn:
+    return ScalarFn((var,), Attr(Ref(var), attr_name))
+
+
+def join(left=None, right=None) -> CEqJoin:
+    return CEqJoin(
+        kx=key_on("k"),
+        ky=key_on("k"),
+        left=left if left is not None else CBagRef(name="xs"),
+        right=right if right is not None else CBagRef(name="ys"),
+    )
+
+
+def side_filter(side: int, field: str = "x") -> ScalarFn:
+    """``\\p -> p[side].field > 0``."""
+    return ScalarFn(
+        ("p",),
+        Compare(
+            ">", Attr(Index(Ref("p"), Const(side)), field), Const(0)
+        ),
+    )
+
+
+def run(plan, ctx=None, trace=None):
+    stats = ReorderStats()
+    out = reorder_operators(plan, stats, ctx, trace=trace)
+    return out, stats
+
+
+class TestJoinPushdown:
+    def test_left_side_filter_pushes_left(self):
+        plan = CFilter(predicate=side_filter(0), input=join())
+        out, stats = run(plan)
+        assert isinstance(out, CEqJoin)
+        assert isinstance(out.left, CFilter)
+        assert isinstance(out.left.input, CBagRef)
+        assert out.left.predicate.params == ("_e",)
+        assert "pushed-below-join" in out.left.reorder_note
+        assert isinstance(out.right, CBagRef)
+        assert stats.applied == 1 and stats.rejected == 0
+
+    def test_right_side_filter_pushes_right(self):
+        plan = CFilter(predicate=side_filter(1), input=join())
+        out, stats = run(plan)
+        assert isinstance(out, CEqJoin)
+        assert isinstance(out.right, CFilter)
+        assert isinstance(out.left, CBagRef)
+        assert stats.applied == 1
+
+    def test_tuple_repacked_predicate_still_pushes(self):
+        # The unnesting residue: the pair rebuilt literally inside the
+        # body — the syntactic free-variable test sees both sides.
+        repack = TupleExpr(
+            (Index(Ref("p"), Const(0)), Index(Ref("p"), Const(1)))
+        )
+        pred = ScalarFn(
+            ("p",),
+            Compare(
+                ">", Attr(Index(repack, Const(1)), "x"), Const(0)
+            ),
+        )
+        plan = CFilter(predicate=pred, input=join())
+        out, stats = run(plan)
+        assert isinstance(out, CEqJoin)
+        assert isinstance(out.right, CFilter)
+        assert stats.applied == 1
+
+    def test_both_sides_predicate_stays(self):
+        pred = ScalarFn(
+            ("p",),
+            Compare(
+                "==",
+                Attr(Index(Ref("p"), Const(0)), "x"),
+                Attr(Index(Ref("p"), Const(1)), "y"),
+            ),
+        )
+        plan = CFilter(predicate=pred, input=join())
+        out, stats = run(plan)
+        assert isinstance(out, CFilter)
+        assert stats.applied == 0
+
+    def test_top_predicate_stays(self):
+        pred = ScalarFn(
+            ("p",),
+            Call(Ref("getattr"), (Ref("p"), Ref("name"))),
+        )
+        trace = CompileTrace()
+        plan = CFilter(predicate=pred, input=join())
+        out, stats = run(plan, trace=trace)
+        assert isinstance(out, CFilter)
+        assert stats.applied == 0
+        assert any("TOP" in e.detail for e in trace.events)
+
+    def test_cross_pushdown(self):
+        plan = CFilter(
+            predicate=side_filter(0),
+            input=CCross(
+                left=CBagRef(name="xs"), right=CBagRef(name="ys")
+            ),
+        )
+        out, stats = run(plan)
+        assert isinstance(out, CCross)
+        assert isinstance(out.left, CFilter)
+        assert stats.applied == 1
+
+    def test_cached_join_is_a_barrier(self):
+        plan = CFilter(
+            predicate=side_filter(0), input=join().with_cache()
+        )
+        out, stats = run(plan)
+        assert isinstance(out, CFilter)
+        assert stats.applied == 0
+
+    def test_shared_join_is_a_barrier(self):
+        shared = join()
+        plan = CUnion(
+            left=CFilter(predicate=side_filter(0), input=shared),
+            right=CMap(fn=ScalarFn.identity(), input=shared),
+        )
+        out, stats = run(plan)
+        assert stats.applied == 0
+        assert isinstance(out.left, CFilter)
+        assert isinstance(out.left.input, CEqJoin)
+
+
+class TestSemiJoinPushdown:
+    def test_filter_commutes_to_left(self):
+        plan = CFilter(
+            predicate=ScalarFn(
+                ("o",), Compare(">", Attr(Ref("o"), "x"), Const(0))
+            ),
+            input=CSemiJoin(
+                kx=key_on("k"),
+                ky=key_on("k"),
+                left=CBagRef(name="xs"),
+                right=CBagRef(name="ys"),
+            ),
+        )
+        out, stats = run(plan)
+        assert isinstance(out, CSemiJoin)
+        assert isinstance(out.left, CFilter)
+        assert out.left.predicate is plan.predicate
+        assert "pushed-below-semijoin" in out.left.reorder_note
+        assert stats.applied == 1
+
+
+class TestGroupPushdown:
+    def test_key_only_filter_composes_below_group_by(self):
+        plan = CFilter(
+            predicate=ScalarFn(
+                ("g",),
+                Compare("==", Attr(Ref("g"), "key"), Const("HIGH")),
+            ),
+            input=CGroupBy(
+                key=key_on("priority", "o"), input=CBagRef(name="os")
+            ),
+        )
+        out, stats = run(plan)
+        assert isinstance(out, CGroupBy)
+        pushed = out.input
+        assert isinstance(pushed, CFilter)
+        # g.key == "HIGH"  ∘  key=o.priority  ⇒  _e.priority == "HIGH"
+        assert pushed.predicate.body == Compare(
+            "==", Attr(Ref("_e"), "priority"), Const("HIGH")
+        )
+        assert "pushed-below-groupby" in pushed.reorder_note
+        assert stats.applied == 1
+
+    def test_agg_by_pushdown(self):
+        plan = CFilter(
+            predicate=ScalarFn(
+                ("g",),
+                Compare("==", Attr(Ref("g"), "key"), Const(3)),
+            ),
+            input=CAggBy(
+                key=key_on("k", "o"),
+                specs=(),
+                input=CBagRef(name="os"),
+            ),
+        )
+        out, stats = run(plan)
+        assert isinstance(out, CAggBy)
+        assert isinstance(out.input, CFilter)
+        assert stats.applied == 1
+
+    def test_value_reading_filter_stays_above_group(self):
+        plan = CFilter(
+            predicate=ScalarFn(
+                ("g",),
+                Compare(">", Attr(Ref("g"), "values"), Const(0)),
+            ),
+            input=CGroupBy(
+                key=key_on("priority", "o"), input=CBagRef(name="os")
+            ),
+        )
+        out, stats = run(plan)
+        assert isinstance(out, CFilter)
+        assert stats.applied == 0
+
+
+class TestDistinctPushdown:
+    def test_filter_commutes_below_distinct(self):
+        plan = CFilter(
+            predicate=ScalarFn(
+                ("x",), Compare(">", Attr(Ref("x"), "v"), Const(0))
+            ),
+            input=CDistinct(input=CBagRef(name="xs")),
+        )
+        out, stats = run(plan)
+        assert isinstance(out, CDistinct)
+        assert isinstance(out.input, CFilter)
+        assert "pushed-below-distinct" in out.input.reorder_note
+        assert stats.applied == 1
+
+
+class TestMapSwap:
+    def test_filter_on_copied_field_swaps_before_map(self):
+        # map \x -> (x.a, x.b + 1); filter \y -> y[0] > 0
+        mp = CMap(
+            fn=ScalarFn(
+                ("x",),
+                TupleExpr(
+                    (
+                        Attr(Ref("x"), "a"),
+                        BinOp("+", Attr(Ref("x"), "b"), Const(1)),
+                    )
+                ),
+            ),
+            input=CBagRef(name="xs"),
+        )
+        plan = CFilter(
+            predicate=ScalarFn(
+                ("y",),
+                Compare(">", Index(Ref("y"), Const(0)), Const(0)),
+            ),
+            input=mp,
+        )
+        out, stats = run(plan)
+        assert isinstance(out, CMap)
+        pushed = out.input
+        assert isinstance(pushed, CFilter)
+        assert pushed.predicate.body == Compare(
+            ">", Attr(Ref("_e"), "a"), Const(0)
+        )
+        assert "swapped-before-map" in pushed.reorder_note
+        assert stats.applied == 1
+
+    def test_filter_on_computed_field_stays(self):
+        mp = CMap(
+            fn=ScalarFn(
+                ("x",),
+                TupleExpr(
+                    (
+                        Attr(Ref("x"), "a"),
+                        BinOp("+", Attr(Ref("x"), "b"), Const(1)),
+                    )
+                ),
+            ),
+            input=CBagRef(name="xs"),
+        )
+        plan = CFilter(
+            predicate=ScalarFn(
+                ("y",),
+                Compare(">", Index(Ref("y"), Const(1)), Const(0)),
+            ),
+            input=mp,
+        )
+        out, stats = run(plan)
+        assert isinstance(out, CFilter)
+        assert stats.applied == 0
+
+    def test_constructor_map_is_opaque(self):
+        mp = CMap(
+            fn=ScalarFn(
+                ("x",),
+                Call(
+                    Ref("Point"),
+                    kwargs=(("a", Attr(Ref("x"), "a")),),
+                ),
+            ),
+            input=CBagRef(name="xs"),
+        )
+        plan = CFilter(
+            predicate=ScalarFn(
+                ("y",), Compare(">", Attr(Ref("y"), "a"), Const(0))
+            ),
+            input=mp,
+        )
+        out, stats = run(plan)
+        assert isinstance(out, CFilter)
+        assert stats.applied == 0
+
+
+class TestFixpointComposition:
+    def test_filter_cascades_through_map_below_join(self):
+        # filter(y[0].x > 0) over map(p -> (p[0], p[1])) over join:
+        # swaps before the (re-packing) map, then sinks into the
+        # join's left input — two rules composing across passes.
+        mp = CMap(
+            fn=ScalarFn(
+                ("p",),
+                TupleExpr(
+                    (
+                        Index(Ref("p"), Const(0)),
+                        Index(Ref("p"), Const(1)),
+                    )
+                ),
+            ),
+            input=join(),
+        )
+        plan = CFilter(
+            predicate=ScalarFn(
+                ("y",),
+                Compare(
+                    ">",
+                    Attr(Index(Ref("y"), Const(0)), "x"),
+                    Const(0),
+                ),
+            ),
+            input=mp,
+        )
+        out, stats = run(plan)
+        assert stats.applied == 2
+        assert isinstance(out, CMap)
+        inner_join = out.input
+        assert isinstance(inner_join, CEqJoin)
+        assert isinstance(inner_join.left, CFilter)
+        assert isinstance(inner_join.left.input, CBagRef)
+
+    def test_chained_filters_all_sink(self):
+        plan = CFilter(
+            predicate=side_filter(0, "a"),
+            input=CFilter(predicate=side_filter(1, "b"), input=join()),
+        )
+        out, stats = run(plan)
+        assert stats.applied == 2
+        assert isinstance(out, CEqJoin)
+        assert isinstance(out.left, CFilter)
+        assert isinstance(out.right, CFilter)
+
+
+class TestCostModelConsult:
+    def loop_ctx(self):
+        return PlanContext(
+            in_loop=True,
+            cached_names=frozenset({"xs", "ys"}),
+            stateful_names=frozenset(),
+            loop_mutated=frozenset({"ranks"}),
+        )
+
+    def test_loop_varying_predicate_into_invariant_side_rejected(self):
+        # The predicate closes over a loop-mutated driver name; the
+        # target side is loop-invariant (a cached bag), so pushing
+        # would invalidate the hoisted once-per-loop shuffle.
+        pred = ScalarFn(
+            ("p",),
+            Compare(
+                ">",
+                Attr(Index(Ref("p"), Const(0)), "x"),
+                Ref("ranks"),
+            ),
+        )
+        trace = CompileTrace()
+        plan = CFilter(predicate=pred, input=join())
+        out, stats = run(plan, ctx=self.loop_ctx(), trace=trace)
+        assert isinstance(out, CFilter)
+        assert stats.rejected == 1 and stats.applied == 0
+        assert any("hoist" in e.detail for e in trace.events)
+
+    def test_invariant_predicate_still_pushes_in_loop(self):
+        plan = CFilter(predicate=side_filter(0), input=join())
+        out, stats = run(plan, ctx=self.loop_ctx())
+        assert isinstance(out, CEqJoin)
+        assert stats.applied == 1 and stats.rejected == 0
+
+    def test_varying_predicate_into_varying_side_pushes(self):
+        # Outside a loop-invariant side there is nothing to protect.
+        pred = ScalarFn(
+            ("p",),
+            Compare(
+                ">",
+                Attr(Index(Ref("p"), Const(0)), "x"),
+                Ref("ranks"),
+            ),
+        )
+        ctx = PlanContext(
+            in_loop=True,
+            cached_names=frozenset(),
+            loop_mutated=frozenset({"ranks"}),
+        )
+        plan = CFilter(predicate=pred, input=join())
+        out, stats = run(plan, ctx=ctx)
+        assert isinstance(out, CEqJoin)
+        assert stats.applied == 1
+
+
+class TestTraceAndExplain:
+    def test_fired_events_carry_read_sets_and_plans(self):
+        trace = CompileTrace()
+        plan = CFilter(predicate=side_filter(1), input=join())
+        run(plan, trace=trace)
+        fired = [e for e in trace.events if e.fired]
+        assert len(fired) == 1
+        assert "reads" in fired[0].detail
+        assert fired[0].before is not None
+        assert fired[0].after is not None
+
+    def test_skip_events_are_deduplicated_across_passes(self):
+        trace = CompileTrace()
+        pred = ScalarFn(
+            ("p",),
+            Compare(
+                "==",
+                Attr(Index(Ref("p"), Const(0)), "x"),
+                Attr(Index(Ref("p"), Const(1)), "y"),
+            ),
+        )
+        run(CFilter(predicate=pred, input=join()), trace=trace)
+        skips = [e for e in trace.events if not e.fired]
+        assert len(skips) == 1
+
+    def test_explain_renders_reorder_note(self):
+        out, _ = run(CFilter(predicate=side_filter(0), input=join()))
+        text = explain(out)
+        assert "[pushed-below-join: reads {x}]" in text
+
+    def test_node_identity_preserved(self):
+        filt = CFilter(predicate=side_filter(0), input=join())
+        out, _ = run(filt)
+        assert isinstance(out, CEqJoin)
+        assert out.left.node_id == filt.node_id
+        assert out.node_id == filt.input.node_id

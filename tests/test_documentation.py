@@ -136,6 +136,7 @@ SNIPPET_DOCS = (
     "docs/parallel_execution.md",
     "docs/columnar.md",
     "docs/out_of_core.md",
+    "docs/optimizer.md",
 )
 
 
