@@ -37,6 +37,7 @@ from repro.engines import (
     FlinkLikeEngine,
     LocalEngine,
     Metrics,
+    PlanCache,
     RetryPolicy,
     RuntimeTracer,
     SimulatedDFS,
@@ -53,6 +54,7 @@ from repro.errors import (
 )
 from repro.frontend.parallelize import Algorithm, parallelize
 from repro.optimizer.pipeline import EmmaConfig, OptimizationReport
+from repro.server import JobService
 
 
 def read(path: str | Path, fmt: Any) -> DataBag:
@@ -100,8 +102,10 @@ __all__ = [
     "Grp",
     "JsonLinesFormat",
     "LocalEngine",
+    "JobService",
     "Metrics",
     "OptimizationReport",
+    "PlanCache",
     "RetryPolicy",
     "RuntimeTracer",
     "SimulatedDFS",

@@ -35,6 +35,11 @@ from repro.engines.faults import (
 from repro.engines.flinklike import FlinkLikeEngine
 from repro.engines.local import LocalEngine
 from repro.engines.metrics import Metrics
+from repro.engines.plancache import (
+    CacheStats,
+    PlanCache,
+    default_plan_cache,
+)
 from repro.engines.scheduler import (
     EXECUTION_MODES,
     PartitionTask,
@@ -67,6 +72,9 @@ __all__ = [
     "FlinkLikeEngine",
     "LocalEngine",
     "Metrics",
+    "CacheStats",
+    "PlanCache",
+    "default_plan_cache",
     "EXECUTION_MODES",
     "PartitionTask",
     "TaskScheduler",

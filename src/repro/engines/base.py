@@ -272,6 +272,22 @@ class Engine:
             if memory_budget is not None
             else default_memory_budget()
         )
+        #: optional cross-run plan/result cache; ``None`` falls back to
+        #: the ``REPRO_PLAN_CACHE_DIR`` environment default (see
+        #: :func:`repro.engines.plancache.default_plan_cache`)
+        self.plan_cache = None
+
+    def attach_plan_cache(self, cache) -> None:
+        """Serve this engine's compiles from a shared fingerprint cache.
+
+        If the cache has no memory limit of its own but this engine
+        runs under a memory budget, the budget bounds the cache's
+        resident bytes too — cold entries drop to their disk tier like
+        any other spillable state (PR 7 discipline).
+        """
+        self.plan_cache = cache
+        if cache is not None and not cache.memory_limit and self.spill.limit:
+            cache.set_memory_limit(self.spill.limit, metrics=self.metrics)
 
     def configure_memory(self, budget: int) -> None:
         """Set the driver memory budget (bytes; 0 = unlimited).

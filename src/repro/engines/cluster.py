@@ -12,6 +12,8 @@ shuffles.
 
 from __future__ import annotations
 
+import array as _array
+import sys
 import zlib
 from dataclasses import dataclass, fields, is_dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
@@ -73,6 +75,14 @@ def stable_hash(value: Any) -> int:
     captured value mappings) be fingerprinted for the per-worker-process
     kernel memo of :mod:`repro.engines.scheduler`.
 
+    Typed buffers hash by content: ``array.array`` over its typecode
+    plus raw bytes, numpy arrays over dtype + shape + contiguous
+    bytes, and :class:`~repro.engines.columnar.ColumnBatch` over its
+    schema signature plus per-column Python values — which is what lets
+    input *snapshots* (staged datasets, columnar partitions) be
+    fingerprinted for the result cache of
+    :mod:`repro.engines.plancache`.
+
     Values outside this closed set raise :class:`EngineError` rather
     than falling back to ``repr``: object reprs that embed ``id()``
     addresses would silently produce partition layouts that differ
@@ -108,10 +118,35 @@ def stable_hash(value: Any) -> int:
         return acc & 0xFFFFFFFF
     if value is None:
         return 0
+    if isinstance(value, _array.array):
+        return _combine(0x545950, (value.typecode, value.tobytes()))
+    np = sys.modules.get("numpy")
+    if np is not None and isinstance(value, np.ndarray):
+        if not value.dtype.hasobject:
+            contiguous = np.ascontiguousarray(value)
+            return _combine(
+                0x4E4441,
+                (
+                    str(contiguous.dtype),
+                    contiguous.shape,
+                    contiguous.tobytes(),
+                ),
+            )
     if is_dataclass(value) and not isinstance(value, type):
         tag = zlib.crc32(type(value).__qualname__.encode("utf-8"))
         return _combine(
             tag, (getattr(value, f.name) for f in fields(value))
+        )
+    from repro.engines.columnar import ColumnBatch, _column_list
+
+    if isinstance(value, ColumnBatch):
+        columns = tuple(
+            None if col is None else _column_list(col)
+            for col in value.columns
+        )
+        return _combine(
+            0x434F4C,
+            (value.schema.signature(), value.nrows, columns),
         )
     from repro.errors import EngineError
 

@@ -156,6 +156,26 @@ class Metrics:
     #: budget-pressure evictions performed (any owner kind)
     budget_evictions: int = 0
 
+    # -- cross-run fingerprint caching --------------------------------------
+    # Cache traffic is driver mechanics, like spill: hits skip host
+    # work (compilation, whole executions) without moving results or
+    # ``simulated_seconds`` of the runs that do execute.
+    #: compiled plans served from the fingerprint plan cache
+    plan_cache_hits: int = 0
+    #: plan-cache lookups that fell through to a fresh compile
+    plan_cache_misses: int = 0
+    #: submissions answered from the memoized result cache (no job ran)
+    result_cache_hits: int = 0
+    #: result-cache lookups that fell through to a real execution
+    result_cache_misses: int = 0
+    #: host compile seconds skipped thanks to plan-cache hits
+    compile_seconds_saved: float = 0.0
+    #: batch-submission members executed to backfill a partial
+    #: result-cache hit (the rest were served memoized)
+    backfill_partitions: int = 0
+    #: cold cache entries dropped from driver memory to their disk tier
+    cache_entries_evicted: int = 0
+
     def snapshot(self) -> "Metrics":
         """A copy of the current counters (for before/after deltas)."""
         return Metrics(**vars(self))
@@ -168,6 +188,18 @@ class Metrics:
         # Peaks do not subtract meaningfully; report the later peak.
         out.peak_worker_bytes = self.peak_worker_bytes
         return out
+
+    def merge(self, other: "Metrics") -> None:
+        """Counter-wise accumulate ``other`` into this object.
+
+        The aggregation the job service uses to roll per-job metrics
+        up into service totals; peaks take the max rather than adding.
+        """
+        for name, value in vars(other).items():
+            if name == "peak_worker_bytes":
+                self.peak_worker_bytes = max(self.peak_worker_bytes, value)
+            else:
+                setattr(self, name, getattr(self, name) + value)
 
     def summary(self) -> str:
         """A compact human-readable summary line."""
@@ -209,9 +241,35 @@ class Metrics:
             )
         if self.spill_happened:
             base += " | " + self.spill_summary()
+        if self.cache_happened:
+            base += " | " + self.cache_summary()
         if self.recovery_happened:
             base += " | " + self.recovery_summary()
         return base
+
+    @property
+    def cache_happened(self) -> bool:
+        """Whether the fingerprint cache layer saw any traffic."""
+        return bool(
+            self.plan_cache_hits
+            or self.plan_cache_misses
+            or self.result_cache_hits
+            or self.result_cache_misses
+            or self.backfill_partitions
+            or self.cache_entries_evicted
+        )
+
+    def cache_summary(self) -> str:
+        """The fingerprint-cache accounting as one human-readable line."""
+        return (
+            f"plan_cache={self.plan_cache_hits}/"
+            f"{self.plan_cache_hits + self.plan_cache_misses} "
+            f"result_cache={self.result_cache_hits}/"
+            f"{self.result_cache_hits + self.result_cache_misses} "
+            f"compile_saved={self.compile_seconds_saved:.3f}s "
+            f"backfill={self.backfill_partitions} "
+            f"cache_evict={self.cache_entries_evicted}"
+        )
 
     @property
     def spill_happened(self) -> bool:

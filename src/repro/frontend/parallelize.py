@@ -121,8 +121,14 @@ class Algorithm:
             )
         if config is not None and hasattr(engine, "apply_runtime_config"):
             engine.apply_runtime_config(config)
-        compiled = self.compiled(config)
         metrics = getattr(engine, "metrics", None)
+        from repro.engines.plancache import default_plan_cache
+
+        plan_cache = getattr(engine, "plan_cache", None) or default_plan_cache()
+        if plan_cache is not None:
+            compiled = plan_cache.compiled(self, config, metrics=metrics)
+        else:
+            compiled = self.compiled(config)
         if metrics is not None:
             # Surface the compile-time reordering decisions alongside
             # the runtime counters; compilation is mode-independent, so

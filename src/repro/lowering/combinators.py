@@ -493,6 +493,19 @@ def combinator_nodes(root: Combinator) -> Iterator[Combinator]:
         yield from combinator_nodes(child)
 
 
+def ensure_node_ids_above(minimum: int) -> None:
+    """Advance the global node-id counter past ``minimum``.
+
+    Plans loaded from the on-disk plan cache carry the node ids they
+    were compiled with; bumping the counter keeps ids of nodes created
+    later in this driver from colliding with them (engine hoist caches
+    key on ``node_id``).
+    """
+    global _node_ids
+    current = next(_node_ids)
+    _node_ids = itertools.count(max(current, minimum + 1))
+
+
 _MOTION_MARKERS = {
     "elidable": "[co-partitioned]",
     "hoistable": "[hoisted]",

@@ -13,8 +13,16 @@
 * :mod:`repro.optimizer.pipeline` — the pass manager: orchestrates
   inlining, per-site comprehension rewriting, lowering, and the
   physical passes; records which optimizations fired (Table 1).
+* :mod:`repro.optimizer.fingerprint` — content fingerprints of lifted
+  programs and input snapshots, the keys of the cross-run plan/result
+  cache (:mod:`repro.engines.plancache`).
 """
 
+from repro.optimizer.fingerprint import (
+    PLAN_KNOBS,
+    plan_fingerprint,
+    snapshot_fingerprint,
+)
 from repro.optimizer.pipeline import (
     CompiledProgram,
     EmmaConfig,
@@ -27,4 +35,7 @@ __all__ = [
     "EmmaConfig",
     "OptimizationReport",
     "compile_program",
+    "PLAN_KNOBS",
+    "plan_fingerprint",
+    "snapshot_fingerprint",
 ]

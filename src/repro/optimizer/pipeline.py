@@ -330,6 +330,14 @@ class CompiledProgram:
     )
     #: per-pass provenance (always collected; rendering is lazy)
     trace: CompileTrace | None = None
+    #: content fingerprint of (lifted IR, plan-affecting knobs) — the
+    #: plan-cache key (:mod:`repro.optimizer.fingerprint`)
+    fingerprint: str | None = None
+    #: host seconds the compile pipeline took (what a plan-cache hit
+    #: saves; charged to ``metrics.compile_seconds_saved`` on hits)
+    compile_seconds: float = 0.0
+    #: provenance of this object: ``"fresh-compile"`` or ``"plan-cache"``
+    cache_origin: str = "fresh-compile"
 
     def explain(
         self, comprehensions: bool = False, trace: bool = False
@@ -363,6 +371,11 @@ class CompiledProgram:
                 "-- memory: budget="
                 f"{self.report.config.memory_budget}B"
                 " spill=lru-to-disk group-overflow=external-merge --"
+            )
+        if self.fingerprint:
+            blocks.append(
+                f"-- plan: fingerprint={self.fingerprint[:12]}"
+                f" source={self.cache_origin} --"
             )
         for i, (expr, plan, in_loop) in enumerate(self.sites):
             suffix = " (in loop)" if in_loop else ""
@@ -678,9 +691,31 @@ def compile_program(
     program: DriverProgram, config: EmmaConfig | None = None
 ) -> CompiledProgram:
     """Run the full pipeline; see the module docstring."""
+    import time
+
+    from repro.optimizer.fingerprint import (
+        PLAN_KNOBS,
+        plan_fingerprint,
+    )
+
+    started = time.perf_counter()
     config = config or EmmaConfig()
     report = OptimizationReport(config=config)
     trace = CompileTrace()
+
+    # 0. Fingerprint: the content identity of (lifted IR, plan knobs),
+    # computed *before* any rewriting so a plan cache can key lookups
+    # without compiling (:mod:`repro.engines.plancache`).
+    fingerprint = plan_fingerprint(program, config)
+    trace.record(
+        "fingerprint",
+        "plan-fingerprint",
+        True,
+        detail=(
+            f"sha256:{fingerprint[:12]} over canonical IR + "
+            f"{len(PLAN_KNOBS)} plan-affecting knobs"
+        ),
+    )
 
     # 1. Inlining.
     if config.inlining:
@@ -847,6 +882,8 @@ def compile_program(
         report=report,
         sites=sites,
         trace=trace,
+        fingerprint=fingerprint,
+        compile_seconds=time.perf_counter() - started,
     )
 
 

@@ -1,0 +1,333 @@
+"""The always-on job service: admission, fairness, quotas, protocol.
+
+The headline test floods the service with eight simultaneous jobs from
+two tenants sharing one process-wide worker pool and checks the
+admission loop's contract: per-tenant quotas are never exceeded, every
+job finishes with per-job cache metrics, and fair round-robin keeps
+one tenant from starving the other.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.engines.cluster import ClusterConfig
+from repro.engines.dfs import SimulatedDFS
+from repro.engines.plancache import PlanCache
+from repro.engines.sparklike import SparkLikeEngine
+from repro.errors import EmmaError
+from repro.server import JobService, ServiceClient
+from repro.workloads.graphs import stage_follower_graph
+from repro.workloads.tpch.datagen import stage_tpch
+from repro.workloads.tpch.q1 import tpch_q1
+from repro.workloads.pagerank import pagerank
+
+
+@pytest.fixture
+def world():
+    dfs = SimulatedDFS()
+    _, lineitem = stage_tpch(dfs, sf=0.01, seed=7)
+    graph = stage_follower_graph(dfs, num_vertices=40, seed=3)
+    return {"dfs": dfs, "lineitem": lineitem, "graph": graph}
+
+
+def engine_factory(dfs):
+    return SparkLikeEngine(
+        cluster=ClusterConfig(num_workers=4), dfs=dfs
+    )
+
+
+@pytest.fixture
+def service(world, tmp_path):
+    svc = JobService(
+        engine_factory,
+        dfs=world["dfs"],
+        cache=PlanCache(cache_dir=str(tmp_path)),
+        max_concurrent=4,
+        default_quota=2,
+    )
+    yield svc
+    svc.shutdown()
+
+
+def q1_params(world):
+    return {
+        "lineitem_path": world["lineitem"],
+        "ship_date_max": "1996-12-01",
+    }
+
+
+def pr_params(world, iterations=3):
+    return {
+        "graph_path": world["graph"],
+        "num_pages": 40,
+        "max_iterations": iterations,
+    }
+
+
+class TestCacheFirstExecution:
+    def test_cold_miss_then_warm_result_hit(self, service, world):
+        cold = service.submit(tpch_q1, q1_params(world), tenant="a")
+        r1 = cold.result(timeout=60)
+        assert cold.cache == {"result": "miss", "plan": "miss"}
+        assert not cold.served_from_cache
+        assert cold.metrics.plan_cache_misses == 1
+        warm = service.submit(tpch_q1, q1_params(world), tenant="b")
+        r2 = warm.result(timeout=60)
+        assert warm.cache["result"] == "hit"
+        assert warm.served_from_cache
+        assert warm.metrics.result_cache_hits == 1
+        assert repr(r1) == repr(r2)
+
+    def test_input_change_misses_result_cache(self, service, world):
+        first = service.submit(pagerank, pr_params(world))
+        first.result(timeout=60)
+        other = service.submit(
+            pagerank, pr_params(world, iterations=4)
+        )
+        other.result(timeout=60)
+        assert other.cache["result"] == "miss"
+        # ...but the plan (same program, same config) was warm.
+        assert other.cache["plan"] == "hit"
+
+    def test_errors_delivered_to_caller(self, service, world):
+        bad = service.submit(
+            tpch_q1, {"wrong_param": 1}, tenant="a"
+        )
+        with pytest.raises(EmmaError):
+            bad.result(timeout=60)
+        assert bad.done()
+
+
+class TestConcurrentAdmission:
+    def test_eight_jobs_two_tenants(self, service, world):
+        # Eight simultaneous submissions across two tenants, one
+        # shared worker pool under the service.
+        handles = []
+        for _ in range(4):
+            handles.append(
+                service.submit(
+                    pagerank, pr_params(world), tenant="alpha"
+                )
+            )
+            handles.append(
+                service.submit(
+                    tpch_q1, q1_params(world), tenant="beta"
+                )
+            )
+        assert len(handles) == 8
+        results = [h.result(timeout=120) for h in handles]
+        assert all(r is not None for r in results)
+        # Identical submissions are repr-identical regardless of
+        # whether they executed or were served from cache.
+        assert len({repr(r) for r in results[::2]}) == 1
+        assert len({repr(r) for r in results[1::2]}) == 1
+        # Every job carries its own cache verdict and metrics.
+        for handle in handles:
+            assert "result" in handle.cache
+            assert handle.admission_latency is not None
+        # The first admission wave (max_concurrent=4, two per tenant)
+        # runs cold concurrently; everything admitted after a
+        # completion finds the result cache warm.
+        assert sum(h.served_from_cache for h in handles) >= 4
+
+    def test_quota_never_exceeded(self, service, world):
+        handles = [
+            service.submit(
+                pagerank,
+                pr_params(world, iterations=2 + (i % 3)),
+                tenant="alpha" if i % 2 else "beta",
+            )
+            for i in range(10)
+        ]
+        for handle in handles:
+            handle.result(timeout=120)
+        running: dict[str, int] = {}
+        peak: dict[str, int] = {}
+        for event, _job, tenant, _t in service.events:
+            if event == "admitted":
+                running[tenant] = running.get(tenant, 0) + 1
+                peak[tenant] = max(
+                    peak.get(tenant, 0), running[tenant]
+                )
+            elif event == "finished":
+                running[tenant] -= 1
+        assert peak, "no admissions recorded"
+        for tenant, high in peak.items():
+            assert high <= 2, f"{tenant} exceeded its quota: {high}"
+
+    def test_round_robin_interleaves_tenants(self, service, world):
+        # One tenant floods first; fairness means the other tenant's
+        # first job is admitted before the flooder's queue drains.
+        flood = [
+            service.submit(
+                pagerank,
+                pr_params(world, iterations=2 + i),
+                tenant="flood",
+            )
+            for i in range(5)
+        ]
+        lone = service.submit(
+            tpch_q1, q1_params(world), tenant="lone"
+        )
+        for handle in flood + [lone]:
+            handle.result(timeout=120)
+        admissions = [
+            tenant
+            for event, _job, tenant, _t in service.events
+            if event == "admitted"
+        ]
+        lone_pos = admissions.index("lone")
+        assert lone_pos < len(admissions) - 1, (
+            "the lone tenant must not be starved to the very end: "
+            f"{admissions}"
+        )
+
+    def test_concurrent_jobs_share_one_process_pool(
+        self, world, tmp_path
+    ):
+        # Engines in processes mode all schedule onto the single
+        # module-global spawn pool — concurrent jobs contend for the
+        # same workers instead of forking a pool per job.
+        from repro.engines import scheduler
+
+        def processes_engine(dfs):
+            return SparkLikeEngine(
+                cluster=ClusterConfig(num_workers=4),
+                dfs=dfs,
+                execution_mode="processes",
+                max_parallel_tasks=2,
+            )
+
+        svc = JobService(
+            processes_engine,
+            dfs=world["dfs"],
+            cache=PlanCache(cache_dir=str(tmp_path)),
+            max_concurrent=4,
+        )
+        try:
+            handles = [
+                svc.submit(
+                    pagerank,
+                    pr_params(world, iterations=2 + i),
+                    tenant="alpha" if i % 2 else "beta",
+                )
+                for i in range(4)
+            ]
+            for handle in handles:
+                assert handle.result(timeout=120) is not None
+            pool_after = scheduler._POOL
+            assert pool_after is not None, "no process pool was used"
+            # Re-running more jobs must reuse, not respawn, the pool.
+            svc.submit(pagerank, pr_params(world)).result(timeout=120)
+            assert scheduler._POOL is pool_after
+        finally:
+            svc.shutdown()
+
+    def test_stats_summary(self, service, world):
+        for _ in range(3):
+            service.submit(tpch_q1, q1_params(world)).result(
+                timeout=60
+            )
+        stats = service.stats()
+        assert stats["jobs_submitted"] == 3
+        assert stats["jobs_finished"] == 3
+        assert stats["jobs_served_from_cache"] == 2
+        assert stats["result_cache_hit_rate"] == pytest.approx(2 / 3)
+        assert stats["admission_latency_p50"] >= 0
+        assert (
+            stats["admission_latency_p99"]
+            >= stats["admission_latency_p50"]
+        )
+
+
+class TestBatchBackfill:
+    def test_partial_hit_backfills_only_misses(self, service, world):
+        warm = service.submit(pagerank, pr_params(world))
+        warm.result(timeout=60)
+        fresh_graph = stage_follower_graph(
+            world["dfs"], num_vertices=25, seed=9
+        )
+        batch = service.submit_batch(
+            [
+                (pagerank, pr_params(world)),
+                (
+                    pagerank,
+                    {
+                        "graph_path": fresh_graph,
+                        "num_pages": 25,
+                        "max_iterations": 3,
+                    },
+                ),
+            ]
+        )
+        assert [h.result(timeout=60) is not None for h in batch] == [
+            True,
+            True,
+        ]
+        deadline = time.time() + 5
+        while (
+            service.metrics.backfill_partitions == 0
+            and time.time() < deadline
+        ):
+            time.sleep(0.05)
+        assert batch[0].served_from_cache
+        assert not batch[1].served_from_cache
+        # Exactly the missing member counts as backfilled.
+        assert service.metrics.backfill_partitions == 1
+        assert batch[1].metrics.backfill_partitions == 1
+
+    def test_full_hit_batch_has_no_backfill(self, service, world):
+        service.submit(pagerank, pr_params(world)).result(timeout=60)
+        batch = service.submit_batch(
+            [(pagerank, pr_params(world))] * 2
+        )
+        for handle in batch:
+            handle.result(timeout=60)
+        time.sleep(0.2)
+        assert service.metrics.backfill_partitions == 0
+
+
+class TestTcpEndpoint:
+    def test_submit_wait_stats_over_socket(self, service, world):
+        service.register(tpch_q1)
+        port = service.serve()
+        with ServiceClient("127.0.0.1", port) as client:
+            assert client.request({"op": "ping"})["pong"] is True
+            submitted = client.request(
+                {
+                    "op": "submit",
+                    "algorithm": "tpch_q1",
+                    "params": q1_params(world),
+                    "tenant": "remote",
+                }
+            )
+            assert submitted["ok"], submitted
+            done = client.request(
+                {"op": "wait", "job_id": submitted["job_id"]}
+            )
+            assert done["ok"], done
+            assert done["result"].startswith("DataBag(")
+            assert done["cache"]["result"] in ("hit", "miss")
+            stats = client.request({"op": "stats"})
+            assert stats["ok"] and stats["jobs_submitted"] >= 1
+
+    def test_unknown_requests_rejected(self, service):
+        port = service.serve()
+        with ServiceClient("127.0.0.1", port) as client:
+            assert not client.request({"op": "nope"})["ok"]
+            assert not client.request(
+                {"op": "submit", "algorithm": "unregistered"}
+            )["ok"]
+
+    def test_shutdown_refuses_new_jobs(self, world, tmp_path):
+        svc = JobService(
+            engine_factory,
+            dfs=world["dfs"],
+            cache=PlanCache(cache_dir=str(tmp_path)),
+        )
+        svc.shutdown()
+        with pytest.raises(EmmaError):
+            svc.submit(tpch_q1, q1_params(world))

@@ -137,6 +137,7 @@ SNIPPET_DOCS = (
     "docs/columnar.md",
     "docs/out_of_core.md",
     "docs/optimizer.md",
+    "docs/serving.md",
 )
 
 
