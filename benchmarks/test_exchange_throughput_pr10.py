@@ -1,0 +1,228 @@
+"""Throughput ablation — the columnar exchange plane (PR 10).
+
+Two shuffle-bound workloads run with the exchange plane ``on`` and
+``off``:
+
+* a large two-table equi-join (450k rows total, the TPC-H sf-0.5 ball
+  park) whose repartition shuffle, hash build, and probe all sit on
+  the exchange operators — with numpy available the columnar exchange
+  must clear **2x** the row plane's wall clock on the serial ablation;
+* TPC-H Q4 (semi-join + aggregation, two shuffles) in process-pool
+  mode, where shuffle payloads ship as typed columnar blocks —
+  ``ipc_bytes_shipped`` must drop strictly below the row exchange's.
+
+Everything observable must agree — bit-identical output records and
+identical ``simulated_seconds`` across exchange ``on``/``off`` and
+``serial``/``processes``.  Without numpy (the CI runners) the speedup
+gate self-disables and the run records the pure-Python fallback
+numbers; correctness stays enforced.  Results are exported to
+``BENCH_pr10.json`` in CI.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.comprehension.exprs import Const, Index, Ref
+from repro.engines.columnar import HAS_NUMPY
+from repro.engines.dfs import SimulatedDFS
+from repro.engines.executor import JobExecutor
+from repro.experiments.runner import bench_cost_model, make_engine
+from repro.lowering.combinators import CBagRef, CEqJoin, ScalarFn
+from repro.optimizer.columnar_select import select_columnar
+from repro.optimizer.pipeline import EmmaConfig
+from repro.workloads.tpch import stage_tpch, tpch_q4
+
+NUM_LEFT = 300_000
+NUM_RIGHT = 150_000
+VARIANTS = (
+    ("serial", "off"),
+    ("serial", "on"),
+    ("processes", "off"),
+    ("processes", "on"),
+)
+
+
+def _join_plan(exchange: str):
+    """A repartition equi-join on the leading int column of each side."""
+    join = CEqJoin(
+        kx=ScalarFn(("x",), Index(Ref("x"), Const(0))),
+        ky=ScalarFn(("y",), Index(Ref("y"), Const(0))),
+        left=CBagRef(name="xs"),
+        right=CBagRef(name="ys"),
+    )
+    return select_columnar(join, exchange=exchange)
+
+
+def _engine(mode: str, plane: str):
+    engine = make_engine(
+        "spark", SimulatedDFS(), num_workers=8, cost=bench_cost_model()
+    )
+    engine.configure_execution(mode, max_parallel_tasks=4)
+    engine.configure_columnar_exchange(plane)
+    # Small sides must still repartition: the broadcast strategy would
+    # skip the very shuffle this ablation measures.
+    engine.broadcast_join_threshold = 0
+    return engine
+
+
+def _join_loop(engine, env, plan, reps: int):
+    """Execute the join ``reps`` times; return (seconds, outputs)."""
+    job = engine._new_job()
+    outputs = []
+    started = time.perf_counter()
+    for _rep in range(reps):
+        # A fresh executor per rep: the per-executor DAG memo would
+        # otherwise turn repeat runs into no-ops.
+        result = JobExecutor(engine, env, job)._exec(plan)
+        outputs.append([x for part in result.partitions for x in part])
+    return time.perf_counter() - started, outputs
+
+
+def _run_join_matrix():
+    # Key strides coprime with the partition count, so both sides
+    # spread over every bucket; two thirds of left rows find a match.
+    xs = [(i, float(i)) for i in range(NUM_LEFT)]
+    ys = [(i * 3, float(i) * 0.5) for i in range(NUM_RIGHT)]
+    reps = 2
+    stats = {
+        "left": NUM_LEFT,
+        "right": NUM_RIGHT,
+        "reps": reps,
+        "numpy": HAS_NUMPY,
+    }
+    outputs = {}
+    for mode, plane in VARIANTS:
+        engine = _engine(mode, plane)
+        ex = JobExecutor(engine, {}, engine._new_job())
+        env = {
+            "xs": ex.parallelize_local(xs),
+            "ys": ex.parallelize_local(ys),
+        }
+        plan = _join_plan("on" if plane == "on" else "off")
+        key = f"{mode}_{plane}"
+        _join_loop(engine, env, plan, reps=1)  # warm pools + kernels
+        stats[f"{key}_joins"] = engine.metrics.columnar_joins
+        stats[f"{key}_shuffles"] = engine.metrics.columnar_shuffles
+        stats[f"{key}_blocks"] = engine.metrics.columnar_blocks_shipped
+        engine.reset_metrics()
+        seconds, out = _join_loop(engine, env, plan, reps=reps)
+        outputs[key] = out
+        moved = (NUM_LEFT + NUM_RIGHT) * reps
+        stats[f"{key}_seconds"] = seconds
+        stats[f"{key}_records_per_sec"] = moved / seconds
+        stats[f"{key}_simulated"] = engine.metrics.simulated_seconds
+        stats[f"{key}_ipc_shipped"] = engine.metrics.ipc_bytes_shipped
+    base = outputs["serial_off"]
+    stats["identical"] = all(out == base for out in outputs.values())
+    stats["rows_out"] = len(base[0])
+    return stats
+
+
+def test_exchange_join_throughput(benchmark):
+    stats = run_once(benchmark, _run_join_matrix)
+    speedup = stats["serial_off_seconds"] / stats["serial_on_seconds"]
+    print()
+    for mode, plane in VARIANTS:
+        key = f"{mode}_{plane}"
+        print(
+            f"equi-join {key:<14} {stats[f'{key}_seconds']:.3f}s "
+            f"{stats[f'{key}_records_per_sec']:>12,.0f} rec/s "
+            f"joins={stats[f'{key}_joins']} "
+            f"shuffles={stats[f'{key}_shuffles']} "
+            f"blocks={stats[f'{key}_blocks']}"
+        )
+    print(f"exchange speedup (serial) = {speedup:.2f}x numpy={HAS_NUMPY}")
+
+    # Correctness is unconditional: planes and modes must agree bit
+    # for bit, on results and on the simulated clock.
+    assert stats["identical"], "exchange plane changed join results"
+    assert stats["rows_out"] > 0
+    for mode, plane in VARIANTS:
+        key = f"{mode}_{plane}"
+        assert (
+            stats[f"{key}_simulated"] == stats["serial_off_simulated"]
+        ), f"{key} moved the simulated clock"
+        if plane == "on":
+            assert stats[f"{key}_joins"] > 0
+            assert stats[f"{key}_shuffles"] > 0
+        else:
+            assert stats[f"{key}_joins"] == 0
+            assert stats[f"{key}_shuffles"] == 0
+    # Typed blocks only ship across a process boundary.
+    assert stats["processes_on_blocks"] > 0
+    assert stats["serial_on_blocks"] == 0
+
+    # The wall-clock gate holds wherever the typed-buffer fast path
+    # exists; the pure-Python fallback records numbers only.
+    if HAS_NUMPY:
+        assert speedup >= 2.0, f"exchange speedup {speedup:.2f}x < 2x"
+
+
+def _run_q4_matrix():
+    dfs = SimulatedDFS()
+    orders_path, lineitem_path = stage_tpch(dfs, sf=0.5)
+    stats = {"sf": 0.5, "numpy": HAS_NUMPY}
+    outcomes = {}
+    for mode, plane in VARIANTS:
+        engine = make_engine(
+            "spark", dfs, num_workers=8, cost=bench_cost_model()
+        )
+        config = EmmaConfig(
+            columnar_exchange=plane,
+            execution_mode=mode,
+            max_parallel_tasks=4,
+        )
+        key = f"{mode}_{plane}"
+        started = time.perf_counter()
+        result = tpch_q4.run(
+            engine,
+            config=config,
+            orders_path=orders_path,
+            lineitem_path=lineitem_path,
+            date_min="1995-01-01",
+            date_max="1996-07-01",
+        )
+        records = [repr(r) for r in result.fetch()]
+        stats[f"{key}_seconds"] = time.perf_counter() - started
+        stats[f"{key}_simulated"] = engine.metrics.simulated_seconds
+        stats[f"{key}_ipc_shipped"] = engine.metrics.ipc_bytes_shipped
+        stats[f"{key}_shuffles"] = engine.metrics.columnar_shuffles
+        stats[f"{key}_blocks"] = engine.metrics.columnar_blocks_shipped
+        outcomes[key] = records
+    base = outcomes["serial_off"]
+    stats["identical"] = all(out == base for out in outcomes.values())
+    stats["groups_out"] = len(base)
+    return stats
+
+
+def test_exchange_q4_shuffle_bytes(benchmark):
+    stats = run_once(benchmark, _run_q4_matrix)
+    print()
+    for mode, plane in VARIANTS:
+        key = f"{mode}_{plane}"
+        print(
+            f"tpch-q4 {key:<14} {stats[f'{key}_seconds']:.3f}s "
+            f"ipc={stats[f'{key}_ipc_shipped']:>12,} B "
+            f"shuffles={stats[f'{key}_shuffles']} "
+            f"blocks={stats[f'{key}_blocks']}"
+        )
+
+    assert stats["identical"], "exchange plane changed Q4 results"
+    assert stats["groups_out"] > 0
+    for mode, plane in VARIANTS:
+        key = f"{mode}_{plane}"
+        assert (
+            stats[f"{key}_simulated"] == stats["serial_off_simulated"]
+        ), f"{key} moved the simulated clock"
+        if plane == "on":
+            assert stats[f"{key}_shuffles"] > 0
+        else:
+            assert stats[f"{key}_shuffles"] == 0
+    # The whole point of typed shuffle blocks: strictly fewer IPC
+    # bytes than the row exchange ships between the same processes.
+    assert stats["processes_on_blocks"] > 0
+    assert (
+        stats["processes_on_ipc_shipped"]
+        < stats["processes_off_ipc_shipped"]
+    ), "columnar shuffle blocks did not reduce shipped bytes"

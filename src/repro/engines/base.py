@@ -188,6 +188,10 @@ class Engine:
     #: the pure-Python column fallback), or "off"; results and
     #: ``simulated_seconds`` are bit-identical in every mode
     columnar_mode = "auto"
+    #: columnar exchange plane for optimizer-selected shuffles, joins,
+    #: and group-bys ("auto"/"on"/"off"); independent of
+    #: ``columnar_mode``, same bit-identical guarantees
+    columnar_exchange_mode = "auto"
 
     def __init__(
         self,
@@ -202,6 +206,7 @@ class Engine:
         max_parallel_tasks: int | None = None,
         speculative_execution: bool = True,
         columnar: str | None = None,
+        columnar_exchange: str | None = None,
         memory_budget: int | None = None,
     ) -> None:
         self.cluster = cluster or ClusterConfig()
@@ -257,10 +262,18 @@ class Engine:
             else default_max_parallel_tasks(),
             speculative_execution,
         )
-        from repro.engines.columnar import default_columnar_mode
+        from repro.engines.columnar import (
+            default_columnar_exchange,
+            default_columnar_mode,
+        )
 
         self.configure_columnar(
             columnar if columnar is not None else default_columnar_mode()
+        )
+        self.configure_columnar_exchange(
+            columnar_exchange
+            if columnar_exchange is not None
+            else default_columnar_exchange()
         )
         from repro.engines.spill import SpillManager, default_memory_budget
 
@@ -311,6 +324,17 @@ class Engine:
                 f"{', '.join(COLUMNAR_MODES)}"
             )
         self.columnar_mode = mode
+
+    def configure_columnar_exchange(self, mode: str) -> None:
+        """Select the columnar exchange plane (``auto``/``on``/``off``)."""
+        from repro.engines.columnar import COLUMNAR_MODES
+
+        if mode not in COLUMNAR_MODES:
+            raise EngineError(
+                f"unknown columnar exchange mode {mode!r}: expected one "
+                f"of {', '.join(COLUMNAR_MODES)}"
+            )
+        self.columnar_exchange_mode = mode
 
     # -- host-parallel execution backend ----------------------------------
 
@@ -408,6 +432,8 @@ class Engine:
             )
         if config.columnar != self.columnar_mode:
             self.configure_columnar(config.columnar)
+        if config.columnar_exchange != self.columnar_exchange_mode:
+            self.configure_columnar_exchange(config.columnar_exchange)
         if config.memory_budget != self.spill.limit:
             self.configure_memory(config.memory_budget)
 
@@ -721,6 +747,12 @@ class Engine:
             self.metrics.columnar_kernels,
             self.metrics.columnar_fallbacks,
         )
+        job.exchange_start = (
+            self.metrics.columnar_shuffles,
+            self.metrics.columnar_joins,
+            self.metrics.columnar_groups,
+            self.metrics.columnar_blocks_shipped,
+        )
         job.spill_start = (
             self.metrics.spill_bytes_written,
             self.metrics.spill_bytes_read,
@@ -759,6 +791,24 @@ class Engine:
                 extra["columnar_batches"] = batches
                 extra["columnar_kernels"] = kernels
                 extra["columnar_fallbacks"] = fallbacks
+            exchange_now = (
+                self.metrics.columnar_shuffles,
+                self.metrics.columnar_joins,
+                self.metrics.columnar_groups,
+                self.metrics.columnar_blocks_shipped,
+            )
+            if exchange_now != job.exchange_start:
+                names = (
+                    "columnar_shuffles",
+                    "columnar_joins",
+                    "columnar_groups",
+                    "columnar_blocks_shipped",
+                )
+                for name, now, start in zip(
+                    names, exchange_now, job.exchange_start
+                ):
+                    if now - start:
+                        extra[name] = now - start
             spill_now = (
                 self.metrics.spill_bytes_written,
                 self.metrics.spill_bytes_read,

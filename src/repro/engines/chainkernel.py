@@ -881,3 +881,20 @@ def build_vector_kernel(
         needed,
         len(counters),
     )
+
+
+def build_key_kernel(
+    key_step: KernelStep, schema: ColumnSchema
+) -> VectorKernel:
+    """The vector kernel evaluating one *key* UDF as a column.
+
+    Exchange operators (shuffle, hash join, group-by) need the key of
+    every record; wrapping the key's :class:`KernelStep` as a
+    single-step MAP chain reuses the whole scalar-subset evaluator —
+    same vectorizable subset, same bit-identical Python semantics — and
+    yields a kernel whose output batch is the key column(s).  Raises
+    :exc:`NotVectorizable` exactly like :func:`build_vector_kernel`.
+    """
+    if key_step.kind != MAP:
+        raise NotVectorizable("key kernels must be MAP steps")
+    return build_vector_kernel((key_step,), schema)

@@ -36,6 +36,7 @@ from __future__ import annotations
 import dataclasses
 import operator
 import os
+import zlib
 from array import array
 from typing import Any, Callable, Iterable, Sequence
 
@@ -67,6 +68,27 @@ def default_columnar_mode() -> str:
     if mode not in COLUMNAR_MODES:
         raise EngineError(
             f"REPRO_COLUMNAR={mode!r} is not one of {COLUMNAR_MODES}"
+        )
+    return mode
+
+
+def default_columnar_exchange() -> str:
+    """The exchange-plane mode from ``REPRO_COLUMNAR_EXCHANGE``.
+
+    Controls whether shuffles, hash joins, and group-bys run over
+    :class:`ColumnBatch` payloads (``auto`` engages when numpy is
+    available, ``on`` forces the batch path with the pure-Python
+    column fallback, ``off`` keeps every exchange row-at-a-time).
+    Independent of the chain-kernel ``columnar`` knob: a bag can take
+    the columnar exchange even when its chains stayed row-mode.
+    """
+    mode = (
+        os.environ.get("REPRO_COLUMNAR_EXCHANGE", "auto").strip().lower()
+    )
+    if mode not in COLUMNAR_MODES:
+        raise EngineError(
+            f"REPRO_COLUMNAR_EXCHANGE={mode!r} is not one of "
+            f"{COLUMNAR_MODES}"
         )
     return mode
 
@@ -382,7 +404,8 @@ def build_batch(
     elif schema.kind == "tuple":
         if rec_types != {tuple}:
             return None, "mixed record types in partition"
-        if any(len(r) != schema.arity for r in records):
+        arity = schema.arity
+        if any(len(r) != arity for r in records):
             return None, "ragged tuple arity in partition"
     else:  # scalar
         if not rec_types <= {int, float, bool, str}:
@@ -420,6 +443,10 @@ def _extract_columns(
         return [list(records)]
     if not positions:
         return []
+    if schema.kind == "tuple" and len(positions) == schema.arity:
+        # Full-width tuple batches (the exchange plane's shape)
+        # transpose directly — no per-record itemgetter tuples.
+        return [list(col) for col in zip(*records)]
     if schema.kind == "dataclass":
         getter = operator.attrgetter(
             *(schema.fields[i] for i in positions)
@@ -492,6 +519,18 @@ class ColumnBatch:
         )
         return ColumnBatch(self.schema, cols, mask_count(mask))
 
+    def take(self, indices: Sequence[int]) -> "ColumnBatch":
+        """Rows at ``indices``, in that order (gather).
+
+        Fancy-indexes numpy columns in C; typed buffers and lists
+        gather element-wise, preserving exact Python values.
+        """
+        cols = tuple(
+            None if c is None else _take_column(c, indices)
+            for c in self.columns
+        )
+        return ColumnBatch(self.schema, cols, len(indices))
+
     def column_nbytes(self) -> tuple[int, ...]:
         """Actual buffer bytes per column (0 for projected columns)."""
         out = []
@@ -515,11 +554,81 @@ class ColumnBatch:
         """Total buffer bytes across columns."""
         return sum(self.column_nbytes())
 
+    def __reduce__(self) -> tuple:
+        """Pickle as packed typed buffers (see :func:`pack_column`)."""
+        return (
+            _rebuild_batch,
+            (
+                self.schema,
+                tuple(pack_column(c) for c in self.columns),
+                self.nrows,
+            ),
+        )
+
     def __repr__(self) -> str:
         return (
             f"ColumnBatch(kind={self.schema.kind!r}, "
             f"arity={self.schema.arity}, nrows={self.nrows})"
         )
+
+
+def pack_column(col: Any) -> tuple[str, Any, Any]:
+    """One column as a compact ``(tag, dtype, payload)`` triple.
+
+    Numeric numpy columns dump their raw buffer (a memcpy both ways).
+    Fixed-width ``<U`` unicode columns — numpy's UTF-32 layout, 4
+    bytes per character padded to the widest string — would ship ~3x
+    larger than the strings themselves, so they go as Python string
+    tuples instead (short-string pickle opcodes plus memoization of
+    repeated values, e.g. low-cardinality flag columns).  The dtype
+    string rides along so the receiving side rebuilds the exact same
+    array, keeping vectorized behaviour identical across the hop.
+    """
+    if col is None:
+        return ("none", None, None)
+    if _np is not None and isinstance(col, _np.ndarray):
+        if col.dtype.kind == "U":
+            return ("ustr", col.dtype.str, tuple(col.tolist()))
+        return ("np", col.dtype.str, col.tobytes())
+    if isinstance(col, StrColumn):
+        return ("strcol", col.arr.dtype.str, tuple(col.arr.tolist()))
+    if isinstance(col, array):
+        return ("arr", col.typecode, col.tobytes())
+    if isinstance(col, PyColumn):
+        return ("py", None, col.data)
+    return ("obj", None, col)
+
+
+def unpack_column(tag: str, dtype: Any, payload: Any) -> Any:
+    """Rebuild one column from :func:`pack_column` output."""
+    if tag == "none":
+        return None
+    if tag in ("np", "ustr", "strcol") and _np is None:
+        raise RuntimeError(
+            "cannot unpack a numpy-typed column buffer without numpy"
+        )
+    if tag == "np":
+        return _np.frombuffer(payload, dtype=dtype).copy()
+    if tag == "ustr":
+        return _np.array(payload, dtype=dtype)
+    if tag == "strcol":
+        return StrColumn(_np.array(payload, dtype=dtype))
+    if tag == "arr":
+        col = array(dtype)
+        col.frombytes(payload)
+        return col
+    if tag == "py":
+        return PyColumn(payload)
+    return payload
+
+
+def _rebuild_batch(
+    schema: ColumnSchema, packed: tuple, nrows: int
+) -> ColumnBatch:
+    """Unpickle hook for :meth:`ColumnBatch.__reduce__`."""
+    return ColumnBatch(
+        schema, tuple(unpack_column(*p) for p in packed), nrows
+    )
 
 
 def batch_from_records(
@@ -530,6 +639,245 @@ def batch_from_records(
     if schema is None:
         return None, reason
     return build_batch(records, schema)
+
+
+# ---------------------------------------------------------------------------
+# Exchange helpers: batch-at-a-time partitioning
+# ---------------------------------------------------------------------------
+
+
+def _take_column(col: Any, indices: Sequence[int]) -> Any:
+    """Gather one column at ``indices`` (order-preserving)."""
+    if isinstance(col, StrColumn):
+        return StrColumn(col.arr[indices])
+    if _np is not None and isinstance(col, _np.ndarray):
+        return col[indices]
+    if _np is not None and type(col) is list and len(col) > 1024:
+        # Large scalar lists round-trip through numpy: one C gather
+        # plus ``tolist`` beats an element-wise Python loop, and the
+        # values come back as the exact same Python ints/bools.
+        try:
+            arr = _np.asarray(col)
+        except Exception:
+            arr = None
+        if (
+            arr is not None
+            and arr.ndim == 1
+            and arr.dtype.kind in ("i", "b")
+        ):
+            return arr[indices].tolist()
+    if _np is not None and isinstance(indices, _np.ndarray):
+        # Element-wise gathers index far faster with native ints than
+        # with numpy scalars.
+        indices = indices.tolist()
+    if isinstance(col, array):
+        return array(col.typecode, [col[i] for i in indices])
+    if isinstance(col, PyColumn):
+        data = col.data
+        return PyColumn([data[i] for i in indices])
+    return [col[i] for i in indices]
+
+
+def bucket_indices(keys: Any, n_parts: int) -> Any:
+    """Destination partition per key, batch-at-a-time.
+
+    Bit-identical to ``hash_partition_index(key, n_parts)`` for every
+    key: the per-type branches below inline ``stable_hash``'s scalar
+    cases (ints map to themselves, bools to 0/1, strings and float
+    reprs through CRC32) so homogeneous key columns skip the isinstance
+    ladder, with the numpy ``int64 %`` fast path for integer keys
+    (Python and numpy agree on the sign of ``%`` with a positive
+    divisor).  Mixed or structured keys fall back to the row hash.
+    Accepts a raw key column store and may return an int64 array —
+    :func:`scatter_batch` consumes either without a copy.
+    """
+    arr = _as_int_array(keys)
+    if arr is not None:
+        return arr % n_parts
+    if not isinstance(keys, list):
+        keys = _column_list(keys)
+    kinds = set(map(type, keys))
+    if kinds == {int}:
+        return [k % n_parts for k in keys]
+    if kinds == {bool}:
+        return [int(k) % n_parts for k in keys]
+    if kinds == {str}:
+        crc = zlib.crc32
+        return [crc(k.encode("utf-8")) % n_parts for k in keys]
+    if kinds == {float}:
+        crc = zlib.crc32
+        return [crc(repr(k).encode("utf-8")) % n_parts for k in keys]
+    from repro.engines.cluster import hash_partition_index
+
+    return [hash_partition_index(k, n_parts) for k in keys]
+
+
+def scatter_batch(
+    batch: ColumnBatch, dests: Sequence[int], n_parts: int
+) -> list[ColumnBatch]:
+    """Split a batch into per-destination sub-batches.
+
+    ``dests[i]`` is the destination partition of row ``i`` (from
+    :func:`bucket_indices`).  Rows keep their source order within each
+    destination — exactly the order per-row appends would produce —
+    via a stable argsort + one gather + contiguous slices on the numpy
+    path, or position lists + gathers in pure Python.
+    """
+    if HAS_NUMPY:
+        arr = _np.asarray(dests, dtype=_np.int64)
+        order = _np.argsort(arr, kind="stable")
+        counts = _np.bincount(arr, minlength=n_parts).tolist()
+        gathered = batch.take(order)
+        out = []
+        start = 0
+        for count in counts:
+            out.append(gathered.slice(start, start + count))
+            start += count
+        return out
+    positions: list[list[int]] = [[] for _ in range(n_parts)]
+    for pos, dest in enumerate(dests):
+        positions[dest].append(pos)
+    return [batch.take(p) for p in positions]
+
+
+def _as_int_array(keys: Any) -> Any:
+    """``keys`` as an int64 array, or None off the fast path.
+
+    A single ``asarray`` pass replaces a Python-level type scan: the
+    resulting dtype kind tells us whether every key was an int.  Bools
+    promote to 0/1 ints, which hash and compare identically to the
+    scalar path; oversized ints land in an object array and fall back.
+    Accepts raw column stores so key columns flow straight from a
+    kernel's output batch without a ``to_records`` round trip.
+    """
+    if not HAS_NUMPY or isinstance(keys, StrColumn):
+        return None
+    if isinstance(keys, PyColumn):
+        keys = keys.data
+    if isinstance(keys, _np.ndarray):
+        arr = keys
+    else:
+        try:
+            arr = _np.asarray(keys)
+        except Exception:
+            return None
+    if arr.dtype.kind != "i" or arr.ndim != 1:
+        return None
+    return arr
+
+
+def probe_join(
+    lrows: list, lkeys: Any, rrows: list, rkeys: Any
+) -> list:
+    """All pairs ``(l, r)`` with equal keys, in row-probe order.
+
+    Exactly equivalent to the hash-table probe — build
+    ``table.setdefault(rkey, []).append(r)`` over the right side, then
+    for each left row in order emit its matches in right-side order —
+    but homogeneous int keys take a sorted-probe fast path: a stable
+    argsort of the right keys plus two ``searchsorted`` sweeps find
+    each left key's match range in C (stability keeps equal-keyed
+    right rows in original order, so pair order is identical), leaving
+    Python-level work proportional to the *output* instead of one hash
+    probe per input row.  Anything else falls back to the dict probe.
+    """
+    rows: list = []
+    if not lrows or not rrows:
+        return rows
+    append = rows.append
+    la = _as_int_array(lkeys)
+    ra = _as_int_array(rkeys) if la is not None else None
+    if ra is None:
+        # Dict probe needs exact Python scalars as hash keys.
+        if not isinstance(lkeys, list):
+            lkeys = _column_list(lkeys)
+        if not isinstance(rkeys, list):
+            rkeys = _column_list(rkeys)
+    if ra is not None:
+        order = _np.argsort(ra, kind="stable")
+        rsorted = ra[order]
+        lo = _np.searchsorted(rsorted, la, side="left")
+        hi = _np.searchsorted(rsorted, la, side="right")
+        counts = hi - lo
+        total = int(counts.sum())
+        if total:
+            # Expand the match ranges into explicit (left, right)
+            # index pairs in C; Python-level work is one append per
+            # *output* pair.  Left indices repeat in left order;
+            # within a left row, offsets walk ``lo[i]:hi[i]`` through
+            # the stable sort order — exactly the dict probe's order.
+            li = _np.repeat(_np.arange(counts.shape[0]), counts)
+            starts = counts.cumsum() - counts
+            offs = _np.arange(total) - _np.repeat(starts, counts)
+            ri = order[_np.repeat(lo, counts) + offs]
+            for i, j in zip(li.tolist(), ri.tolist()):
+                append((lrows[i], rrows[j]))
+        return rows
+    table: dict = {}
+    for r, k in zip(rrows, rkeys):
+        table.setdefault(k, []).append(r)
+    for x, k in zip(lrows, lkeys):
+        for m in table.get(k, ()):
+            append((x, m))
+    return rows
+
+
+def normalize_batch(batch: ColumnBatch) -> ColumnBatch:
+    """``batch`` with at-rest backing stores only.
+
+    Vector kernels may emit :class:`PyColumn`/:class:`StrColumn`
+    operator wrappers; a batch kept *at rest* (cached for later
+    exchange consumers) stores the plain list or ``<U`` array
+    underneath instead, so slicing, scattering, and gathers see the
+    same column types :func:`build_batch` produces.
+    """
+    if not any(
+        isinstance(c, (PyColumn, StrColumn)) for c in batch.columns
+    ):
+        return batch
+    cols = tuple(
+        c.data
+        if isinstance(c, PyColumn)
+        else c.arr
+        if isinstance(c, StrColumn)
+        else c
+        for c in batch.columns
+    )
+    return ColumnBatch(batch.schema, cols, batch.nrows)
+
+
+def concat_batches(blocks: Sequence[ColumnBatch]) -> ColumnBatch:
+    """One batch holding ``blocks``' rows back to back.
+
+    Used to keep a shuffle's scatter output columnar-at-rest: the
+    per-source sub-batches landing on one destination partition
+    concatenate (in arrival order, matching the row-at-a-time merge
+    exactly) into that partition's cached batch, so downstream
+    exchange operators skip re-packing the very columns the scatter
+    just produced.  Columns concatenate per backing store — numpy
+    arrays in C (dtype promotion only ever widens ``<U`` strings,
+    values unchanged), everything else through exact Python scalars.
+    """
+    if len(blocks) == 1:
+        return blocks[0]
+    schema = blocks[0].schema
+    cols: list[Any] = []
+    for j in range(schema.arity):
+        pieces = [b.columns[j] for b in blocks]
+        if any(p is None for p in pieces):
+            cols.append(None)
+        elif _np is not None and all(
+            isinstance(p, _np.ndarray) for p in pieces
+        ):
+            cols.append(_np.concatenate(pieces))
+        else:
+            merged: list = []
+            for p in pieces:
+                merged.extend(p if type(p) is list else _column_list(p))
+            cols.append(merged)
+    return ColumnBatch(
+        schema, tuple(cols), sum(b.nrows for b in blocks)
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -43,18 +43,25 @@ from repro.engines.chainkernel import (
     NotVectorizable,
     VectorKernel,
     build_chain_kernel,
+    build_key_kernel,
     build_vector_kernel,
 )
 from repro.engines.columnar import (
     HAS_NUMPY,
     ColumnBatch,
+    bucket_indices,
     build_batch,
+    concat_batches,
+    normalize_batch,
     infer_schema,
+    probe_join,
+    scatter_batch,
 )
 from repro.engines.cluster import (
     PartitionedBag,
     Partitioner,
     hash_partition_index,
+    stable_hash,
 )
 from repro.engines.costmodel import JoinObservation
 from repro.engines.metrics import JobRun
@@ -64,6 +71,9 @@ from repro.engines.scheduler import (
     BroadcastProbeSpec,
     BroadcastSemiSpec,
     BucketSpec,
+    ColumnarBucketSpec,
+    ColumnarGroupSpec,
+    ColumnarJoinProbeSpec,
     FoldSpec,
     GroupSpec,
     JoinProbeSpec,
@@ -73,8 +83,13 @@ from repro.engines.scheduler import (
     TaskStage,
     UdfRef,
     VectorKernelSpec,
+    group_rows_by_keys,
 )
-from repro.engines.sizes import estimate_bag_bytes, estimate_record_bytes
+from repro.engines.sizes import (
+    estimate_bag_bytes,
+    estimate_blocks_bytes,
+    estimate_record_bytes,
+)
 from repro.errors import EngineError, SimulatedMemoryError
 from repro.lowering.combinators import (
     AggResult,
@@ -182,6 +197,10 @@ class JobExecutor:
         #: :class:`VectorKernel`, or ``None`` after a chain-level
         #: fallback so the reason is counted and traced only once
         self._vkernel_memo: dict[int, VectorKernel | None] = {}
+        #: per-job exchange key-kernel memo, keyed by (key IR identity,
+        #: input schema signature): the key column's ``VectorKernel``,
+        #: or ``None`` after a once-counted unsupported-UDF fallback
+        self._xkernel_memo: dict[tuple, VectorKernel | None] = {}
         # State shared with nested executors spawned for lazy lineages
         # within the *same* job (so one DeferredBag consumed twice in a
         # job — a self-join over a lazy bag — executes once).
@@ -651,9 +670,25 @@ class JobExecutor:
             return False
         return mode == "on" or HAS_NUMPY
 
-    def _count_columnar_fallback(self, comb: CChain, reason: str) -> None:
-        """Count + trace one row-plane fallback with its reason."""
-        self.engine.metrics.columnar_fallbacks += 1
+    def _count_columnar_fallback(
+        self, comb: Combinator, reason: str, category: str = "schema"
+    ) -> None:
+        """Count + trace one row-plane fallback with its reason.
+
+        ``category`` breaks the aggregate counter down for
+        ``summary()``: ``"udf"`` (key or chain UDF outside the
+        vectorizable subset), ``"schema"`` (mixed or ragged record
+        layout at batch-build time), ``"input"`` (records the schema
+        sniffer cannot type at all).
+        """
+        metrics = self.engine.metrics
+        metrics.columnar_fallbacks += 1
+        if category == "udf":
+            metrics.columnar_fallbacks_udf += 1
+        elif category == "input":
+            metrics.columnar_fallbacks_input += 1
+        else:
+            metrics.columnar_fallbacks_schema += 1
         tracer = self.engine.tracer
         if tracer is not None:
             tracer.event(
@@ -661,6 +696,7 @@ class JobExecutor:
                 ts=self.job.trace_ts(),
                 chain=comb.describe(),
                 reason=reason,
+                category=category,
             )
 
     def _vector_kernel(
@@ -678,12 +714,12 @@ class JobExecutor:
         vk: VectorKernel | None = None
         schema, reason = infer_schema(sample)
         if schema is None:
-            self._count_columnar_fallback(comb, reason)
+            self._count_columnar_fallback(comb, reason, "input")
         else:
             try:
                 vk = build_vector_kernel(kernel.steps, schema)
             except NotVectorizable as exc:
-                self._count_columnar_fallback(comb, str(exc))
+                self._count_columnar_fallback(comb, str(exc), "udf")
             else:
                 self.engine.metrics.columnar_kernels += 1
         self._vkernel_memo[key] = vk
@@ -718,24 +754,37 @@ class JobExecutor:
         vk: VectorKernel,
         source: PartitionedBag,
     ) -> dict[int, ColumnBatch]:
-        """Per-partition batches for one chain, cached per source bag.
+        """Per-partition batches projected to one chain's needed columns."""
+        return self._source_batches(comb, vk.schema, vk.needed, source)
 
-        A chain re-scanning the same at-rest :class:`PartitionedBag`
-        (loop-invariant inputs, repeated queries over a parallelized
-        bag) packs its columns only once: the engine keeps a weak
-        per-bag cache keyed by schema signature and projection, stamped
-        with the partition lists' identities and lengths so that any
-        partition replacement — lineage recovery rebuilds the list
-        object — invalidates the entry.  Hits change nothing
-        observable; ``columnar_batches_built`` counts actual packing
-        work, and per-partition fallbacks are counted when discovered.
+    def _source_batches(
+        self,
+        comb: Combinator,
+        schema: Any,
+        needed: Any,
+        source: PartitionedBag,
+    ) -> dict[int, ColumnBatch]:
+        """Per-partition batches for one operator, cached per source bag.
+
+        An operator re-scanning the same at-rest
+        :class:`PartitionedBag` (loop-invariant inputs, repeated
+        queries over a parallelized bag) packs its columns only once:
+        the engine keeps a weak per-bag cache keyed by schema signature
+        and projection, stamped with the partition lists' identities
+        and lengths so that any partition replacement — lineage
+        recovery rebuilds the list object — invalidates the entry.
+        Hits change nothing observable; ``columnar_batches_built``
+        counts actual packing work, and per-partition fallbacks are
+        counted when discovered.  Chains project to their needed
+        columns; exchange operators pass ``needed=None`` for full-width
+        batches so the far side can reconstruct complete records.
         """
         cache = self.engine._batch_cache
         stamp = (
             tuple(map(id, source.partitions)),
             tuple(map(len, source.partitions)),
         )
-        key = (vk.schema.signature(), vk.needed)
+        key = (schema.signature(), needed)
         entry = cache.get(source)
         if entry is not None and entry[0] != stamp:
             entry = None
@@ -749,10 +798,10 @@ class JobExecutor:
         for i, p in enumerate(source.partitions):
             if not p:
                 continue
-            batch, reason = build_batch(p, vk.schema, vk.needed)
+            batch, reason = build_batch(p, schema, needed)
             if batch is None:
                 self._count_columnar_fallback(
-                    comb, f"partition {i}: {reason}"
+                    comb, f"partition {i}: {reason}", "schema"
                 )
                 continue
             metrics.columnar_batches_built += 1
@@ -774,6 +823,81 @@ class JobExecutor:
                 ),
             )
         return batches
+
+    # -- columnar exchange plane -------------------------------------------
+
+    def _exchange_active(self, comb: Combinator) -> bool:
+        """Whether this exchange operator should attempt the columnar
+        plane.
+
+        Static selection (``comb.exchange == "columnar"``) comes from
+        :func:`repro.optimizer.columnar_select.select_columnar`; the
+        engine's ``columnar_exchange_mode`` knob gates it at runtime
+        with the same semantics as the chain plane: ``off`` disables,
+        ``on`` forces the attempt even on the pure-Python column
+        fallback, ``auto`` engages only where numpy is available.
+        """
+        mode = self.engine.columnar_exchange_mode
+        if mode == "off" or getattr(comb, "exchange", "") != "columnar":
+            return False
+        return mode == "on" or HAS_NUMPY
+
+    def _key_step(self, compiled: _CompiledUdf) -> KernelStep:
+        """A key UDF as a single MAP kernel step (IR + bindings)."""
+        return KernelStep(
+            MAP,
+            compiled.closure,
+            compiled.extra,
+            params=compiled.fn.params,
+            body=compiled.fn.body,
+            bindings=compiled.bindings,
+        )
+
+    def _key_kernel(
+        self, comb: Combinator, key_ir: ScalarFn, schema: Any
+    ) -> VectorKernel | None:
+        """The vector kernel evaluating ``key_ir`` over ``schema``
+        columns, or ``None`` after a once-counted unsupported-UDF
+        fallback (memoized per key + schema pair)."""
+        memo_key = (id(key_ir), schema.signature())
+        if memo_key in self._xkernel_memo:
+            return self._xkernel_memo[memo_key]
+        compiled = self._udf_compilation(key_ir)
+        vk: VectorKernel | None = None
+        try:
+            vk = build_key_kernel(self._key_step(compiled), schema)
+        except NotVectorizable as exc:
+            self._count_columnar_fallback(comb, f"key: {exc}", "udf")
+        self._xkernel_memo[memo_key] = vk
+        return vk
+
+    def _exchange_prep(
+        self, comb: Combinator, key_ir: ScalarFn, bag: PartitionedBag
+    ) -> tuple[VectorKernel, dict[int, ColumnBatch]] | None:
+        """Key kernel + full-width batches for one exchange input.
+
+        ``None`` means the whole input falls back to the row plane
+        (untyped records or a key UDF outside the vectorizable subset,
+        each counted once).  Batches are always full width — never
+        projected to the key columns — so both driver and workers can
+        reconstruct complete records from the same cached entry in
+        every execution mode, keeping fallback and batch counters
+        mode-invariant.
+        """
+        sample = next((p for p in bag.partitions if p), None)
+        if sample is None:
+            return None
+        schema, reason = infer_schema(sample)
+        if schema is None:
+            self._count_columnar_fallback(comb, reason, "input")
+            return None
+        vk = self._key_kernel(comb, key_ir, schema)
+        if vk is None:
+            return None
+        batches = self._source_batches(comb, schema, None, bag)
+        if not batches:
+            return None
+        return vk, batches
 
     def _exec_chain_columnar(
         self, comb: CChain, kernel: ChainKernel, source: PartitionedBag
@@ -797,6 +921,8 @@ class JobExecutor:
         batches = self._partition_batches(comb, vk, source)
         total_invocations = 0
         out: list[list[Any]] = []
+        out_batches: dict[int, ColumnBatch] = {}
+        row_out = False
         if self._parallel:
             vspec = VectorKernelSpec(kernel.steps, vk.schema, prepared=vk)
             rspec = KernelSpec(kernel.steps, prepared=kernel)
@@ -815,11 +941,13 @@ class JobExecutor:
             for i, (p, (payload, counts)) in enumerate(
                 zip(source.partitions, results)
             ):
-                rows = (
-                    payload.to_records()
-                    if isinstance(payload, ColumnBatch)
-                    else payload
-                )
+                if isinstance(payload, ColumnBatch):
+                    rows = payload.to_records()
+                    if rows:
+                        out_batches[i] = payload
+                else:
+                    rows = payload
+                    row_out = row_out or bool(rows)
                 entered, _emitted = self._charge_kernel(
                     kernel, i, p, counts
                 )
@@ -831,21 +959,30 @@ class JobExecutor:
                 if batch is not None:
                     out_batch, counts = vk.run_batch(batch)
                     rows = out_batch.to_records()
+                    if rows:
+                        out_batches[i] = out_batch
                 else:
                     rows = []
                     counts = kernel.run(p, rows.append)
+                    row_out = row_out or bool(rows)
                 entered, _emitted = self._charge_kernel(
                     kernel, i, p, counts
                 )
                 out.append(rows)
                 total_invocations += sum(entered)
         metrics.udf_invocations += total_invocations
-        return PartitionedBag(
+        result = PartitionedBag(
             out,
             source.partitioner
             if comb.preserves_partitioning()
             else None,
         )
+        if out_batches and not row_out:
+            # The chain's output is columnar-at-rest: keep it so.  A
+            # row-kernel partition poisons the seed — a partial entry
+            # would stop a later consumer from packing those rows.
+            self._seed_batches(result, out_batches)
+        return result
 
     def _exec_chain(self, comb: CChain) -> PartitionedBag:
         source = self._exec(comb.input)
@@ -889,8 +1026,60 @@ class JobExecutor:
 
     # -- shuffles ---------------------------------------------------------------
 
+    def _bucket_tasks(
+        self,
+        bag: PartitionedBag,
+        key_ir: ScalarFn,
+        n_parts: int,
+        exchange: Combinator | None,
+        label: str,
+    ) -> list[PartitionTask]:
+        """Bucket tasks for every partition, columnar where possible.
+
+        With an active columnar exchange, partitions that packed into a
+        :class:`ColumnBatch` ship as typed buffers and bucket
+        batch-at-a-time on the worker; the rest (and everything, when
+        ``exchange`` is ``None``) take the row spec.  Both specs
+        reproduce ``stable_hash`` bucketing bit-identically, so mixing
+        them within one stage is invisible to results.
+        """
+        compiled = self._udf_compilation(key_ir)
+        key_ref = self._udf_ref(compiled)
+        rspec = BucketSpec(key_ref, n_parts, prepared=compiled.closure)
+        cspec = None
+        batches: dict[int, ColumnBatch] = {}
+        if exchange is not None:
+            prep = self._exchange_prep(exchange, key_ir, bag)
+            if prep is not None:
+                vk, batches = prep
+                cspec = ColumnarBucketSpec(
+                    key_ref,
+                    self._key_step(compiled),
+                    vk.schema,
+                    n_parts,
+                    prepared=(vk, n_parts),
+                )
+        ship = self.engine.execution_mode == "processes"
+        metrics = self.engine.metrics
+        tasks = []
+        for i, p in enumerate(bag.partitions):
+            batch = batches.get(i) if cspec is not None else None
+            if batch is not None:
+                tasks.append(
+                    PartitionTask(i, cspec, batch, label + "-columnar")
+                )
+                if ship:
+                    metrics.columnar_blocks_shipped += 1
+            else:
+                tasks.append(PartitionTask(i, rspec, (p, n_parts), label))
+        return tasks
+
     def _bucket_partitions(
-        self, bag: PartitionedBag, key_ir: ScalarFn, n_parts: int
+        self,
+        bag: PartitionedBag,
+        key_ir: ScalarFn,
+        n_parts: int,
+        exchange: Combinator | None = None,
     ) -> list[list[list[Any]]]:
         """Hash-bucket every partition as parallel scheduler tasks.
 
@@ -898,14 +1087,9 @@ class JobExecutor:
         construction, so worker processes bucket records exactly as the
         driver's serial loop would.
         """
-        compiled = self._udf_compilation(key_ir)
-        spec = BucketSpec(
-            self._udf_ref(compiled), n_parts, prepared=compiled.closure
+        tasks = self._bucket_tasks(
+            bag, key_ir, n_parts, exchange, "shuffle-bucket"
         )
-        tasks = [
-            PartitionTask(i, spec, (p, n_parts), "shuffle-bucket")
-            for i, p in enumerate(bag.partitions)
-        ]
         return self._run_stage(tasks)
 
     def shuffle_by_key(
@@ -913,6 +1097,7 @@ class JobExecutor:
         bag: PartitionedBag,
         key_ir: ScalarFn,
         prebucketed: list[list[list[Any]]] | None = None,
+        exchange: Combinator | None = None,
     ) -> PartitionedBag:
         """Hash-repartition ``bag`` on ``key_ir`` (no-op if already so).
 
@@ -920,6 +1105,16 @@ class JobExecutor:
         ahead of time (the overlapped join-side scan of
         :meth:`_prebucket_pair`); merging them in input-partition order
         reproduces the serial shuffle's record order exactly.
+
+        ``exchange`` is the shuffle-inducing combinator when the
+        optimizer selected its columnar exchange plane: keys are then
+        evaluated as a column and records scattered batch-at-a-time,
+        with :func:`~repro.engines.columnar.bucket_indices` holding the
+        bucket assignment bit-identical to ``hash_partition_index``.
+        Bucket lists may therefore contain per-destination
+        :class:`ColumnBatch` slices; the merge unpacks them in the same
+        source order, so record order, every ``_charge_cpu`` call, and
+        all byte accounting stay exactly the row plane's.
         """
         tracer = self.engine.tracer
         if bag.partitioner is not None and bag.partitioner.matches(
@@ -943,21 +1138,57 @@ class JobExecutor:
             )
         key_fn, extra = self._compile_udf(key_ir)
         n_parts = self.parallelism
+        exchange_on = exchange is not None and self._exchange_active(
+            exchange
+        )
         buckets = prebucketed
+        col_buckets: dict[int, list[ColumnBatch]] | None = None
         if buckets is None and self._parallel:
-            buckets = self._bucket_partitions(bag, key_ir, n_parts)
+            buckets = self._bucket_partitions(
+                bag, key_ir, n_parts, exchange if exchange_on else None
+            )
+        elif buckets is None and exchange_on:
+            prep = self._exchange_prep(exchange, key_ir, bag)
+            if prep is not None:
+                vk, batches = prep
+                col_buckets = {}
+                for i, batch in batches.items():
+                    keys = vk.run_batch(batch)[0].columns[0]
+                    col_buckets[i] = scatter_batch(
+                        batch, bucket_indices(keys, n_parts), n_parts
+                    )
         new_partitions: list[list[Any]] = [[] for _ in range(n_parts)]
         total_moved = 0
+        columnar_parts = 0
+        row_contrib = False
+        dest_blocks: list[list[ColumnBatch]] = [
+            [] for _ in range(n_parts)
+        ]
+        trace_blocks: list[ColumnBatch] = []
+        sh = stable_hash
         for i, p in enumerate(bag.partitions):
             if not p:
                 continue
             part_bytes = estimate_bag_bytes(p)
-            if buckets is None:
-                for record in p:
-                    idx = hash_partition_index(key_fn(record), n_parts)
-                    new_partitions[idx].append(record)
+            bucketed = None if buckets is None else buckets[i]
+            if bucketed is None and col_buckets is not None:
+                bucketed = col_buckets.get(i)
+            if bucketed is None:
+                row_contrib = True
+                keys = [key_fn(record) for record in p]
+                for record, k in zip(p, keys):
+                    new_partitions[sh(k) % n_parts].append(record)
+            elif bucketed and isinstance(bucketed[0], ColumnBatch):
+                columnar_parts += 1
+                for idx, sub in enumerate(bucketed):
+                    if sub.nrows:
+                        new_partitions[idx].extend(sub.to_records())
+                        dest_blocks[idx].append(sub)
+                if tracer is not None:
+                    trace_blocks.extend(bucketed)
             else:
-                for idx, records in enumerate(buckets[i]):
+                row_contrib = True
+                for idx, records in enumerate(bucketed):
                     new_partitions[idx].extend(records)
             self._charge_cpu(i, len(p) * (1 + extra))
             # Send side: assume an even spread of destinations.
@@ -980,6 +1211,17 @@ class JobExecutor:
             self.job.charge_worker(self._worker_of(j), seconds)
         self.engine.metrics.shuffle_bytes += total_moved
         self.engine.metrics.records_shuffled += bag.count()
+        if columnar_parts:
+            self.engine.metrics.columnar_shuffles += 1
+            if tracer is not None:
+                tracer.event(
+                    "columnar shuffle blocks",
+                    ts=self.job.trace_ts(),
+                    key=key_ir.describe(),
+                    partitions=columnar_parts,
+                    blocks=len(trace_blocks),
+                    block_bytes=estimate_blocks_bytes(trace_blocks),
+                )
         self.job.add_stage()
         if span is not None:
             tracer.end(
@@ -987,10 +1229,72 @@ class JobExecutor:
                 end_ts=self.job.trace_ts(),
                 shuffle_bytes=total_moved,
                 records=bag.count(),
+                columnar_parts=columnar_parts,
             )
-        return PartitionedBag(
+        result = PartitionedBag(
             new_partitions, Partitioner(key_ir, n_parts)
         )
+        if columnar_parts and not row_contrib:
+            self._seed_shuffled_batches(result, dest_blocks)
+        return result
+
+    def _seed_shuffled_batches(
+        self,
+        bag: PartitionedBag,
+        dest_blocks: list[list[ColumnBatch]],
+    ) -> None:
+        """Keep an all-columnar shuffle's output columnar-at-rest.
+
+        Each destination's scatter sub-batches concatenate (in the
+        same source order the row merge used, so ``to_records`` of the
+        cached batch is exactly the partition's record list) into a
+        pre-seeded entry of the per-bag batch cache; a downstream
+        exchange operator over the shuffled bag then hits the cache
+        instead of re-packing columns from rows.  Driver-side in every
+        execution mode, so batch and fallback counters stay
+        mode-invariant; a budget eviction just drops the entry again.
+        """
+        self._seed_batches(
+            bag,
+            {
+                j: concat_batches(blocks)
+                for j, blocks in enumerate(dest_blocks)
+                if blocks
+            },
+        )
+
+    def _seed_batches(
+        self, bag: PartitionedBag, batches: dict[int, ColumnBatch]
+    ) -> None:
+        """Pre-seed ``bag``'s at-rest batch cache with known batches.
+
+        The entry is stored under the full-width key exchange
+        operators look up, so a consumer hits it instead of re-packing
+        columns from rows.  Purely a wall-clock shortcut: a budget
+        eviction (or any partition replacement, via the stamp) drops
+        the entry and the consumer re-packs on demand.
+        """
+        if not batches:
+            return
+        batches = {
+            i: normalize_batch(b) for i, b in batches.items()
+        }
+        schema = next(iter(batches.values())).schema
+        stamp = (
+            tuple(map(id, bag.partitions)),
+            tuple(map(len, bag.partitions)),
+        )
+        self.engine._batch_cache[bag] = (
+            stamp,
+            {(schema.signature(), None): batches},
+        )
+        if self.engine.spill.active:
+            self.engine.spill.register_batches(
+                bag,
+                sum(
+                    sum(b.column_nbytes()) for b in batches.values()
+                ),
+            )
 
     # -- broadcast ----------------------------------------------------------------
 
@@ -1254,6 +1558,7 @@ class JobExecutor:
         kx: ScalarFn,
         right: PartitionedBag,
         ky: ScalarFn,
+        exchange: Combinator | None = None,
     ) -> tuple[list | None, list | None]:
         """Overlap both repartition-join bucket scans in one task graph.
 
@@ -1271,22 +1576,12 @@ class JobExecutor:
         ):
             return None, None
         n_parts = self.parallelism
-        lc = self._udf_compilation(kx)
-        rc = self._udf_compilation(ky)
-        lspec = BucketSpec(
-            self._udf_ref(lc), n_parts, prepared=lc.closure
+        ltasks = self._bucket_tasks(
+            left, kx, n_parts, exchange, "bucket-left"
         )
-        rspec = BucketSpec(
-            self._udf_ref(rc), n_parts, prepared=rc.closure
+        rtasks = self._bucket_tasks(
+            right, ky, n_parts, exchange, "bucket-right"
         )
-        ltasks = [
-            PartitionTask(i, lspec, (p, n_parts), "bucket-left")
-            for i, p in enumerate(left.partitions)
-        ]
-        rtasks = [
-            PartitionTask(i, rspec, (p, n_parts), "bucket-right")
-            for i, p in enumerate(right.partitions)
-        ]
         scheduler = self.engine.scheduler
         results = scheduler.run_graph(
             [
@@ -1304,9 +1599,10 @@ class JobExecutor:
         bag: PartitionedBag,
         key_ir: ScalarFn,
         prebucketed: list | None = None,
+        exchange: Combinator | None = None,
     ) -> PartitionedBag:
         """Shuffle a join/group input; store it when loop-invariant."""
-        shuffled = self.shuffle_by_key(bag, key_ir, prebucketed)
+        shuffled = self.shuffle_by_key(bag, key_ir, prebucketed, exchange)
         hkey = self._hoist_key(child, key_ir)
         if hkey is not None and hkey not in self.engine._hoist_cache:
             # Memory-resident, like the memory cache tier: one local
@@ -1321,13 +1617,16 @@ class JobExecutor:
         return shuffled
 
     def _shuffled_input(
-        self, child: Combinator, key_ir: ScalarFn
+        self,
+        child: Combinator,
+        key_ir: ScalarFn,
+        exchange: Combinator | None = None,
     ) -> PartitionedBag:
         """Execute *and* shuffle an input, hoist-cache aware."""
         bag, hoisted = self._resolve_side(child, key_ir)
         if hoisted:
             return bag
-        return self._shuffled_side(child, bag, key_ir)
+        return self._shuffled_side(child, bag, key_ir, exchange=exchange)
 
     # -- join strategy -----------------------------------------------------------------
 
@@ -1532,26 +1831,74 @@ class JobExecutor:
             )
         # Repartition join.
         self.engine.metrics.repartition_joins += 1
+        exchange = comb if self._exchange_active(comb) else None
         lpre = rpre = None
         if not lhoisted and not rhoisted:
             lpre, rpre = self._prebucket_pair(
-                left, comb.kx, right, comb.ky
+                left, comb.kx, right, comb.ky, exchange
             )
         if not lhoisted:
-            left = self._shuffled_side(comb.left, left, comb.kx, lpre)
+            left = self._shuffled_side(
+                comb.left, left, comb.kx, lpre, exchange
+            )
         if not rhoisted:
-            right = self._shuffled_side(comb.right, right, comb.ky, rpre)
+            right = self._shuffled_side(
+                comb.right, right, comb.ky, rpre, exchange
+            )
+        # Columnar probe: both sides' keys evaluate as columns over
+        # the shuffled partitions' batches; partitions that fail to
+        # batch probe row-at-a-time inside the same task, so output
+        # pair order and every charge match the row probe exactly.
+        lprep = rprep = None
+        if exchange is not None:
+            lprep = self._exchange_prep(comb, comb.kx, left)
+            rprep = self._exchange_prep(comb, comb.ky, right)
+        engaged = lprep is not None and rprep is not None
+        if engaged:
+            self.engine.metrics.columnar_joins += 1
         out = []
         if self._parallel:
-            spec = JoinProbeSpec(
-                self._udf_ref(cx), self._udf_ref(cy), prepared=(kx, ky)
-            )
-            tasks = [
-                PartitionTask(i, spec, (lp, rp), "join-probe")
+            if engaged:
+                lvk, lbatches = lprep
+                rvk, rbatches = rprep
+                spec = ColumnarJoinProbeSpec(
+                    self._udf_ref(cx),
+                    self._udf_ref(cy),
+                    self._key_step(cx),
+                    lvk.schema,
+                    self._key_step(cy),
+                    rvk.schema,
+                    prepared=(kx, ky, lvk, rvk),
+                )
+                ship = self.engine.execution_mode == "processes"
+                metrics = self.engine.metrics
+                tasks = []
                 for i, (lp, rp) in enumerate(
                     zip(left.partitions, right.partitions)
+                ):
+                    ldata = lbatches.get(i, lp)
+                    rdata = rbatches.get(i, rp)
+                    if ship:
+                        metrics.columnar_blocks_shipped += isinstance(
+                            ldata, ColumnBatch
+                        ) + isinstance(rdata, ColumnBatch)
+                    tasks.append(
+                        PartitionTask(
+                            i, spec, (ldata, rdata), "join-probe-columnar"
+                        )
+                    )
+            else:
+                spec = JoinProbeSpec(
+                    self._udf_ref(cx),
+                    self._udf_ref(cy),
+                    prepared=(kx, ky),
                 )
-            ]
+                tasks = [
+                    PartitionTask(i, spec, (lp, rp), "join-probe")
+                    for i, (lp, rp) in enumerate(
+                        zip(left.partitions, right.partitions)
+                    )
+                ]
             for i, ((lp, rp), rows) in enumerate(
                 zip(
                     zip(left.partitions, right.partitions),
@@ -1563,16 +1910,36 @@ class JobExecutor:
             return PartitionedBag(
                 out, self._pair_partitioner(left.partitioner, 0)
             )
+        if engaged:
+            lvk, lbatches = lprep
+            rvk, rbatches = rprep
         for i, (lp, rp) in enumerate(
             zip(left.partitions, right.partitions)
         ):
-            table = {}
-            for r in rp:
-                table.setdefault(ky(r), []).append(r)
-            rows = []
-            for x in lp:
-                for m in table.get(kx(x), ()):
-                    rows.append((x, m))
+            if engaged:
+                rbatch = rbatches.get(i)
+                lbatch = lbatches.get(i)
+                rkeys = (
+                    rvk.run_batch(rbatch)[0].columns[0]
+                    if rbatch is not None
+                    else [ky(r) for r in rp]
+                )
+                lkeys = (
+                    lvk.run_batch(lbatch)[0].columns[0]
+                    if lbatch is not None
+                    else [kx(x) for x in lp]
+                )
+                rows = probe_join(lp, lkeys, rp, rkeys)
+            else:
+                rkeys = [ky(r) for r in rp]
+                lkeys = [kx(x) for x in lp]
+                table = {}
+                for r, k in zip(rp, rkeys):
+                    table.setdefault(k, []).append(r)
+                rows = []
+                for x, k in zip(lp, lkeys):
+                    for m in table.get(k, ()):
+                        rows.append((x, m))
             out.append(rows)
             self._charge_cpu(i, len(lp) + len(rp) + len(rows))
         return PartitionedBag(
@@ -1639,15 +2006,20 @@ class JobExecutor:
         # join whose probe side is deduplicated per key).  A side that
         # already carries the matching partitioning is not moved, which
         # is what partition pulling exploits.
+        exchange = comb if self._exchange_active(comb) else None
         lpre = rpre = None
         if not lhoisted and not rhoisted:
             lpre, rpre = self._prebucket_pair(
-                left, comb.kx, right, comb.ky
+                left, comb.kx, right, comb.ky, exchange
             )
         if not lhoisted:
-            left = self._shuffled_side(comb.left, left, comb.kx, lpre)
+            left = self._shuffled_side(
+                comb.left, left, comb.kx, lpre, exchange
+            )
         if not rhoisted:
-            right = self._shuffled_side(comb.right, right, comb.ky, rpre)
+            right = self._shuffled_side(
+                comb.right, right, comb.ky, rpre, exchange
+            )
         out = []
         if self._parallel:
             spec = SemiProbeSpec(
@@ -1711,8 +2083,21 @@ class JobExecutor:
     def _exec_group_by(self, comb: CGroupBy) -> PartitionedBag:
         compiled = self._udf_compilation(comb.key)
         key_fn, extra = compiled.closure, compiled.extra
-        shuffled = self._shuffled_input(comb.input, comb.key)
+        exchange = comb if self._exchange_active(comb) else None
+        shuffled = self._shuffled_input(comb.input, comb.key, exchange)
         factor = self.engine.group_materialize_factor
+        # Columnar grouping: the key evaluates as one column over each
+        # shuffled partition's batch, and group boundaries come from
+        # run detection over that column — insertion and value order
+        # match the row dict's first-occurrence semantics exactly.
+        prep = (
+            self._exchange_prep(comb, comb.key, shuffled)
+            if exchange is not None
+            else None
+        )
+        if prep is not None:
+            self.engine.metrics.columnar_groups += 1
+            gvk, gbatches = prep
         # Graceful degradation: partitions whose in-memory group
         # materialization would blow the simulated worker memory limit
         # group through external run-merge instead of aborting — but
@@ -1724,15 +2109,36 @@ class JobExecutor:
         group_rows: dict[int, list[Any]] | None = None
         if self._parallel:
             spec = GroupSpec(self._udf_ref(compiled), prepared=key_fn)
+            cspec = None
+            if prep is not None:
+                cspec = ColumnarGroupSpec(
+                    self._udf_ref(compiled),
+                    self._key_step(compiled),
+                    gvk.schema,
+                    prepared=(gvk,),
+                )
+            ship = self.engine.execution_mode == "processes"
+            metrics = self.engine.metrics
             kept = [
                 i
                 for i in range(len(shuffled.partitions))
                 if i not in external
             ]
-            tasks = [
-                PartitionTask(i, spec, shuffled.partitions[i], "group")
-                for i in kept
-            ]
+            tasks = []
+            for i in kept:
+                batch = gbatches.get(i) if cspec is not None else None
+                if batch is not None:
+                    tasks.append(
+                        PartitionTask(i, cspec, batch, "group-columnar")
+                    )
+                    if ship:
+                        metrics.columnar_blocks_shipped += 1
+                else:
+                    tasks.append(
+                        PartitionTask(
+                            i, spec, shuffled.partitions[i], "group"
+                        )
+                    )
             group_rows = dict(zip(kept, self._run_stage(tasks)))
         for i, p in enumerate(shuffled.partitions):
             if i in external:
@@ -1756,9 +2162,14 @@ class JobExecutor:
             if group_rows is not None:
                 out.append(group_rows[i])
             else:
-                groups: dict[Any, list[Any]] = {}
-                for x in p:
-                    groups.setdefault(key_fn(x), []).append(x)
+                batch = gbatches.get(i) if prep is not None else None
+                if batch is not None:
+                    keys = gvk.run_batch(batch)[0].to_records()
+                    groups = group_rows_by_keys(p, keys)
+                else:
+                    groups = {}
+                    for x in p:
+                        groups.setdefault(key_fn(x), []).append(x)
                 out.append(
                     [Grp(k, DataBag(vs)) for k, vs in groups.items()]
                 )
@@ -2008,6 +2419,9 @@ class JobExecutor:
                 ScalarFn(
                     ("_p",),
                     _index0(),
+                ),
+                exchange=(
+                    comb if self._exchange_active(comb) else None
                 ),
             )
         # Phase 3: reducer-side merge.

@@ -121,6 +121,28 @@ class Metrics:
     #: chains or partitions that fell back to the row kernel at runtime
     #: (unsupported record layout, binding values, mixed partitions)
     columnar_fallbacks: int = 0
+    # Fallbacks broken down by reason family (they sum to
+    # ``columnar_fallbacks``), so exchange fallbacks are diagnosable
+    # from the summary line alone:
+    #: ... because the UDF is outside the vectorizable scalar subset
+    columnar_fallbacks_udf: int = 0
+    #: ... because the partition's record layout defeated the batch
+    #: build (mixed record types, ragged tuples, column build errors)
+    columnar_fallbacks_schema: int = 0
+    #: ... because the input was not columnar-at-rest (empty partition,
+    #: unsupported record type, no batch available)
+    columnar_fallbacks_input: int = 0
+
+    # -- columnar exchange plane --------------------------------------------
+    #: shuffles that partitioned batch-at-a-time over a key column
+    columnar_shuffles: int = 0
+    #: repartition joins that built/probed over key columns
+    columnar_joins: int = 0
+    #: group-bys that grouped over a key column
+    columnar_groups: int = 0
+    #: exchange payloads shipped to process-pool workers as typed
+    #: column buffers instead of pickled row lists
+    columnar_blocks_shipped: int = 0
 
     # -- UDF-aware operator reordering --------------------------------------
     # Compile-time decisions copied from the OptimizationReport by
@@ -239,6 +261,23 @@ class Metrics:
                 f"col_batches={self.columnar_batches_built} "
                 f"col_fallbacks={self.columnar_fallbacks}"
             )
+            if self.columnar_fallbacks:
+                base += (
+                    f"(udf={self.columnar_fallbacks_udf}"
+                    f" schema={self.columnar_fallbacks_schema}"
+                    f" input={self.columnar_fallbacks_input})"
+                )
+        if (
+            self.columnar_shuffles
+            or self.columnar_joins
+            or self.columnar_groups
+        ):
+            base += (
+                f" | col_shuffles={self.columnar_shuffles} "
+                f"col_joins={self.columnar_joins} "
+                f"col_groups={self.columnar_groups} "
+                f"col_blocks={self.columnar_blocks_shipped}"
+            )
         if self.spill_happened:
             base += " | " + self.spill_summary()
         if self.cache_happened:
@@ -355,6 +394,9 @@ class JobRun:
         #: columnar counter snapshot (batches, kernels, fallbacks) at
         #: job start — the job span reports the per-job deltas
         self.columnar_start = (0, 0, 0)
+        #: exchange counter snapshot (shuffles, joins, groups, shipped
+        #: blocks) at job start — the job span reports per-job deltas
+        self.exchange_start = (0, 0, 0, 0)
         #: spill counter snapshot (bytes written, bytes read, spilled,
         #: reloaded, external merges, evictions) at job start — the job
         #: span reports the per-job deltas

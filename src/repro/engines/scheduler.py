@@ -70,9 +70,16 @@ from repro.engines.chainkernel import (
     KernelStep,
     VectorKernel,
     build_chain_kernel,
+    build_key_kernel,
     build_vector_kernel,
 )
-from repro.engines.columnar import ColumnBatch, ColumnSchema
+from repro.engines.columnar import (
+    ColumnBatch,
+    ColumnSchema,
+    bucket_indices,
+    probe_join,
+    scatter_batch,
+)
 from repro.engines.cluster import hash_partition_index, stable_hash
 from repro.errors import EngineError
 from repro.lowering.combinators import AggResult, ScalarFn
@@ -457,6 +464,143 @@ class BucketSpec(TaskSpec):
         return self.key.compile()
 
 
+class ColumnarBucketSpec(TaskSpec):
+    """Hash-bucket one partition shipped as a :class:`ColumnBatch`.
+
+    The columnar twin of :class:`BucketSpec`: the payload is a typed
+    batch instead of a row list, the shuffle key is evaluated as a
+    column through a single-step vector kernel, and the result is a
+    list of ``num_partitions`` destination *sub-batches* (scattered in
+    source order, so the driver's merge reproduces the row shuffle's
+    record order exactly).  Bucket assignment is bit-identical to
+    ``hash_partition_index`` by construction of
+    :func:`~repro.engines.columnar.bucket_indices`.
+    """
+
+    kind = "columnar-bucket"
+
+    def __init__(
+        self,
+        key: UdfRef,
+        key_step: KernelStep,
+        schema: ColumnSchema,
+        num_partitions: int,
+        prepared: tuple | None = None,
+    ) -> None:
+        digest = key.digest()
+        fingerprint = None
+        if digest is not None:
+            fingerprint = (
+                "columnar-bucket",
+                digest,
+                schema.signature(),
+                num_partitions,
+            )
+        super().__init__(fingerprint)
+        self.key = key
+        self.key_step = key_step
+        self.schema = schema
+        self.num_partitions = num_partitions
+        if prepared is not None:
+            self._prepared = prepared
+
+    def build(self) -> tuple:
+        """(key vector kernel, destination count)."""
+        return (
+            build_key_kernel(self.key_step, self.schema),
+            self.num_partitions,
+        )
+
+
+class ColumnarGroupSpec(TaskSpec):
+    """Materialize ``Grp`` records from one shuffled batch.
+
+    The columnar twin of :class:`GroupSpec`: the payload is the
+    partition as a full-width :class:`ColumnBatch`; the worker
+    evaluates the grouping key as a column, then groups the
+    reconstructed records with run detection (adjacent equal keys skip
+    the hash probe — shuffled partitions cluster equal keys when the
+    upstream scatter preserved source runs).
+    """
+
+    kind = "columnar-group"
+
+    def __init__(
+        self,
+        key: UdfRef,
+        key_step: KernelStep,
+        schema: ColumnSchema,
+        prepared: tuple | None = None,
+    ) -> None:
+        digest = key.digest()
+        fingerprint = None
+        if digest is not None:
+            fingerprint = ("columnar-group", digest, schema.signature())
+        super().__init__(fingerprint)
+        self.key = key
+        self.key_step = key_step
+        self.schema = schema
+        if prepared is not None:
+            self._prepared = prepared
+
+    def build(self) -> tuple:
+        """(key vector kernel,) — tuple for memo-shape uniformity."""
+        return (build_key_kernel(self.key_step, self.schema),)
+
+
+class ColumnarJoinProbeSpec(TaskSpec):
+    """Hash join build/probe over key columns of a partition pair.
+
+    The columnar twin of :class:`JoinProbeSpec`: each side of the
+    payload is either a full-width :class:`ColumnBatch` (keys evaluated
+    through the side's vector kernel) or a plain row list (that
+    partition fell back — keys evaluated through the compiled closure).
+    Build and probe orders match the row runner exactly, so the output
+    pair order is bit-identical.
+    """
+
+    kind = "columnar-join-probe"
+
+    def __init__(
+        self,
+        kx: UdfRef,
+        ky: UdfRef,
+        x_step: KernelStep,
+        x_schema: ColumnSchema,
+        y_step: KernelStep,
+        y_schema: ColumnSchema,
+        prepared: tuple | None = None,
+    ) -> None:
+        dx, dy = kx.digest(), ky.digest()
+        fingerprint = None
+        if dx is not None and dy is not None:
+            fingerprint = (
+                "columnar-join-probe",
+                dx,
+                dy,
+                x_schema.signature(),
+                y_schema.signature(),
+            )
+        super().__init__(fingerprint)
+        self.kx = kx
+        self.ky = ky
+        self.x_step = x_step
+        self.x_schema = x_schema
+        self.y_step = y_step
+        self.y_schema = y_schema
+        if prepared is not None:
+            self._prepared = prepared
+
+    def build(self) -> tuple:
+        """(kx closure, ky closure, left key kernel, right key kernel)."""
+        return (
+            self.kx.compile(),
+            self.ky.compile(),
+            build_key_kernel(self.x_step, self.x_schema),
+            build_key_kernel(self.y_step, self.y_schema),
+        )
+
+
 class JoinProbeSpec(TaskSpec):
     """Co-partitioned hash join probe over a ``(left, right)`` pair."""
 
@@ -697,6 +841,76 @@ def _run_bucket(key_fn: Callable, task_data: tuple) -> list[list[Any]]:
     return buckets
 
 
+def _run_columnar_bucket(
+    prepared: tuple, batch: ColumnBatch
+) -> list[ColumnBatch]:
+    """Bucket one shipped batch into destination sub-batches."""
+    kernel, num_partitions = prepared
+    keys = kernel.run_batch(batch)[0].columns[0]
+    dests = bucket_indices(keys, num_partitions)
+    return scatter_batch(batch, dests, num_partitions)
+
+
+#: marks "no previous key yet" in the run-detecting group loop
+_NO_KEY = object()
+
+
+def group_rows_by_keys(rows: list[Any], keys: list[Any]) -> dict:
+    """Group records by their precomputed keys, detecting key runs.
+
+    Exactly equivalent to ``groups.setdefault(key_fn(x), []).append(x)``
+    over the same sequence — insertion order, value order, and the key
+    objects stored in the dict all match — but adjacent equal keys
+    append straight to the previous group without re-probing the hash
+    table (the run-detection half of the columnar group-by).
+    """
+    groups: dict[Any, list[Any]] = {}
+    last_key: Any = _NO_KEY
+    last_list: list[Any] | None = None
+    for x, k in zip(rows, keys):
+        if last_list is not None and k == last_key:
+            last_list.append(x)
+            continue
+        entry = groups.get(k)
+        if entry is None:
+            groups[k] = entry = [x]
+        else:
+            entry.append(x)
+        last_key = k
+        last_list = entry
+    return groups
+
+
+def _run_columnar_group(prepared: tuple, batch: ColumnBatch) -> list[Any]:
+    """Group one shipped batch by its key column."""
+    (kernel,) = prepared
+    rows = batch.to_records()
+    keys = kernel.run_batch(batch)[0].to_records()
+    groups = group_rows_by_keys(rows, keys)
+    return [Grp(k, DataBag(vs)) for k, vs in groups.items()]
+
+
+def _side_rows_and_keys(
+    side: Any, kernel: Any, key_fn: Callable
+) -> tuple[list[Any], list[Any]]:
+    """(records, keys) of one join side: batch or row-list payload."""
+    if isinstance(side, ColumnBatch):
+        return (
+            side.to_records(),
+            kernel.run_batch(side)[0].columns[0],
+        )
+    return side, [key_fn(x) for x in side]
+
+
+def _run_columnar_join_probe(prepared: tuple, task_data: tuple) -> list[Any]:
+    """Build-and-probe one pair whose sides may ship as batches."""
+    kx, ky, x_kernel, y_kernel = prepared
+    lp, rp = task_data
+    rrows, rkeys = _side_rows_and_keys(rp, y_kernel, ky)
+    lrows, lkeys = _side_rows_and_keys(lp, x_kernel, kx)
+    return probe_join(lrows, lkeys, rrows, rkeys)
+
+
 def _run_join_probe(prepared: tuple, task_data: tuple) -> list[Any]:
     """Build-and-probe one co-partitioned (left, right) pair."""
     kx, ky = prepared
@@ -751,6 +965,9 @@ _RUNNERS: dict[str, Callable[[Any, Any], Any]] = {
     "agg-merge": _run_agg_merge,
     "group": _run_group,
     "bucket": _run_bucket,
+    "columnar-bucket": _run_columnar_bucket,
+    "columnar-group": _run_columnar_group,
+    "columnar-join-probe": _run_columnar_join_probe,
     "join-probe": _run_join_probe,
     "broadcast-probe": _run_broadcast_probe,
     "semi-probe": _run_semi_probe,

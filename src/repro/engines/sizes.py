@@ -110,6 +110,25 @@ def estimate_column_bytes(values: Sequence[Any]) -> int:
     return int(avg * n)
 
 
+def estimate_blocks_bytes(blocks: Iterable[Any]) -> int:
+    """Estimated serialized size of a set of columnar exchange blocks.
+
+    A block is either a :class:`~repro.engines.columnar.ColumnBatch`
+    (which reports its own typed-buffer footprint via ``nbytes()``) or
+    a row-mode fallback record list.  Feeds the executor's exchange
+    trace events only — never the cost model, whose charges stay on
+    the row estimators so simulated seconds cannot move with the plane.
+    """
+    total = 0
+    for block in blocks:
+        nbytes = getattr(block, "nbytes", None)
+        if callable(nbytes):
+            total += int(nbytes())
+        else:
+            total += estimate_bag_bytes(block)
+    return total
+
+
 def estimate_batch_bytes(column_nbytes: Sequence[int], nrows: int) -> int:
     """Estimated serialized size of a column batch.
 

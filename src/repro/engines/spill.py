@@ -46,16 +46,13 @@ from __future__ import annotations
 import os
 import pickle
 import weakref
-from array import array
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.engines.columnar import (
-    HAS_NUMPY,
     ColumnBatch,
-    PyColumn,
-    StrColumn,
-    _np,
+    pack_column,
+    unpack_column,
 )
 from repro.engines.sizes import estimate_bag_bytes
 from repro.errors import EngineError
@@ -95,33 +92,26 @@ def default_memory_budget() -> int:
 #: codec names used in spill files and shuffle refs
 CODEC_PICKLE = "pickle"
 CODEC_BATCH = "batch"
+#: a tuple payload mixing :class:`ColumnBatch` elements with plain
+#: values — the shape of a columnar join-probe's ``(left, right)``
+#: pair; each batch element takes the typed buffer dump
+CODEC_BLOCKS = "blocks"
 
 
 def dump_batch(batch: ColumnBatch) -> bytes:
-    """Serialize a :class:`ColumnBatch` as typed buffer dumps.
+    """Serialize a :class:`ColumnBatch` as packed typed buffers.
 
-    Each column is stored as ``(tag, dtype, raw buffer)`` — numpy
-    arrays and ``<U`` string buffers as ``tobytes()``, ``array.array``
-    as its machine representation — so deserialization is a buffer
-    copy, not a per-element unpickle.  Object-backed columns fall back
-    to pickle (they have no typed buffer to dump).
+    Delegates to :func:`repro.engines.columnar.pack_column` — the same
+    compact form batches pickle as across the process-pool boundary
+    (raw buffers for numeric columns, string tuples for fixed-width
+    unicode) — so spill files and shuffle blocks share one codec.
     """
-    cols: list[tuple] = []
-    for col in batch.columns:
-        if col is None:
-            cols.append(("none", None, b""))
-        elif _np is not None and isinstance(col, _np.ndarray):
-            cols.append(("np", col.dtype.str, col.tobytes()))
-        elif isinstance(col, StrColumn):
-            cols.append(("str", col.arr.dtype.str, col.arr.tobytes()))
-        elif isinstance(col, array):
-            cols.append(("arr", col.typecode, col.tobytes()))
-        elif isinstance(col, PyColumn):
-            cols.append(("py", None, pickle.dumps(col.data)))
-        else:
-            cols.append(("obj", None, pickle.dumps(col)))
     return pickle.dumps(
-        (batch.schema, tuple(cols), batch.nrows),
+        (
+            batch.schema,
+            tuple(pack_column(c) for c in batch.columns),
+            batch.nrows,
+        ),
         protocol=pickle.HIGHEST_PROTOCOL,
     )
 
@@ -129,43 +119,35 @@ def dump_batch(batch: ColumnBatch) -> bytes:
 def load_batch(buf: bytes) -> ColumnBatch:
     """Rebuild a :class:`ColumnBatch` from :func:`dump_batch` output."""
     schema, cols, nrows = pickle.loads(buf)
-    rebuilt: list[Any] = []
-    for tag, dtype, raw in cols:
-        if tag == "none":
-            rebuilt.append(None)
-        elif tag == "np":
-            if not HAS_NUMPY:  # pragma: no cover - cross-host guard
-                raise EngineError(
-                    "cannot load a numpy-typed spill buffer without numpy"
-                )
-            rebuilt.append(_np.frombuffer(raw, dtype=dtype).copy())
-        elif tag == "str":
-            if not HAS_NUMPY:  # pragma: no cover - cross-host guard
-                raise EngineError(
-                    "cannot load a numpy-typed spill buffer without numpy"
-                )
-            rebuilt.append(
-                StrColumn(_np.frombuffer(raw, dtype=dtype).copy())
-            )
-        elif tag == "arr":
-            col = array(dtype)
-            col.frombytes(raw)
-            rebuilt.append(col)
-        elif tag == "py":
-            rebuilt.append(PyColumn(pickle.loads(raw)))
-        else:
-            rebuilt.append(pickle.loads(raw))
-    return ColumnBatch(schema, tuple(rebuilt), nrows)
+    try:
+        rebuilt = tuple(unpack_column(*c) for c in cols)
+    except RuntimeError as exc:  # pragma: no cover - cross-host guard
+        raise EngineError(str(exc)) from exc
+    return ColumnBatch(schema, rebuilt, nrows)
 
 
 def encode_payload(data: Any) -> tuple[str, bytes]:
     """Serialize spillable data: ``(codec, bytes)``.
 
     Row partitions (and any other Python value) pickle; column batches
-    take the typed buffer dump.
+    take the typed buffer dump; tuples containing batches (a columnar
+    join pair, possibly with one row-mode side) dump each batch element
+    as typed buffers and pickle the rest.
     """
     if isinstance(data, ColumnBatch):
         return CODEC_BATCH, dump_batch(data)
+    if isinstance(data, tuple) and any(
+        isinstance(el, ColumnBatch) for el in data
+    ):
+        parts = tuple(
+            ("batch", dump_batch(el))
+            if isinstance(el, ColumnBatch)
+            else ("obj", pickle.dumps(el, protocol=pickle.HIGHEST_PROTOCOL))
+            for el in data
+        )
+        return CODEC_BLOCKS, pickle.dumps(
+            parts, protocol=pickle.HIGHEST_PROTOCOL
+        )
     return CODEC_PICKLE, pickle.dumps(
         data, protocol=pickle.HIGHEST_PROTOCOL
     )
@@ -175,6 +157,11 @@ def decode_payload(codec: str, buf: bytes) -> Any:
     """Inverse of :func:`encode_payload`."""
     if codec == CODEC_BATCH:
         return load_batch(buf)
+    if codec == CODEC_BLOCKS:
+        return tuple(
+            load_batch(raw) if tag == "batch" else pickle.loads(raw)
+            for tag, raw in pickle.loads(buf)
+        )
     return pickle.loads(buf)
 
 

@@ -426,6 +426,7 @@ def _span_stats(span: TraceSpan) -> str:
         "compute_seconds",
         "shuffle_bytes",
         "broadcast_bytes",
+        "columnar_parts",
         "stages",
         "records",
         "keys",

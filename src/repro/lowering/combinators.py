@@ -338,6 +338,11 @@ class CEqJoin(Combinator):
     ky: ScalarFn = None  # type: ignore[assignment]
     left: Combinator = None  # type: ignore[assignment]
     right: Combinator = None  # type: ignore[assignment]
+    #: exchange-plane selection ("columnar" / "row" / "" when the pass
+    #: did not run), decided at compile time by
+    #: :func:`repro.optimizer.columnar_select.select_columnar`
+    exchange: str = field(default="", compare=False)
+    exchange_reason: str = field(default="", compare=False)
 
     def inputs(self) -> tuple[Combinator, ...]:
         return (self.left, self.right)
@@ -363,6 +368,11 @@ class CSemiJoin(Combinator):
     left: Combinator = None  # type: ignore[assignment]
     right: Combinator = None  # type: ignore[assignment]
     anti: bool = False
+    #: exchange-plane selection ("columnar" / "row" / "" when the pass
+    #: did not run), decided at compile time by
+    #: :func:`repro.optimizer.columnar_select.select_columnar`
+    exchange: str = field(default="", compare=False)
+    exchange_reason: str = field(default="", compare=False)
 
     def inputs(self) -> tuple[Combinator, ...]:
         return (self.left, self.right)
@@ -422,6 +432,11 @@ class CGroupBy(Combinator):
 
     key: ScalarFn = None  # type: ignore[assignment]
     input: Combinator = None  # type: ignore[assignment]
+    #: exchange-plane selection ("columnar" / "row" / "" when the pass
+    #: did not run), decided at compile time by
+    #: :func:`repro.optimizer.columnar_select.select_columnar`
+    exchange: str = field(default="", compare=False)
+    exchange_reason: str = field(default="", compare=False)
 
     def inputs(self) -> tuple[Combinator, ...]:
         return (self.input,)
@@ -445,6 +460,13 @@ class CAggBy(Combinator):
     key: ScalarFn = None  # type: ignore[assignment]
     specs: tuple[AlgebraSpec, ...] = ()
     input: Combinator = None  # type: ignore[assignment]
+    #: exchange-plane selection for the partial-aggregate shuffle
+    #: ("columnar" / "row" / "" when the pass did not run).  The
+    #: shuffled records are always ``(key, aggs)`` pairs keyed by
+    #: ``_p[0]``, so the static key check is on that synthetic key,
+    #: not on ``key`` (which runs mapper-side, before the exchange).
+    exchange: str = field(default="", compare=False)
+    exchange_reason: str = field(default="", compare=False)
 
     def inputs(self) -> tuple[Combinator, ...]:
         return (self.input,)
@@ -530,6 +552,8 @@ def explain(
         flags.append(f"partitioned[{root.partition_hint.describe()}]")
     if root.phys is not None and root.phys.strategy is not None:
         flags.append(f"strategy={root.phys.strategy}")
+    if getattr(root, "exchange", ""):
+        flags.append(f"exchange={root.exchange}")
     suffix = f"  <{', '.join(flags)}>" if flags else ""
     marker = ""
     if root.phys is not None and root.phys.motion is not None:

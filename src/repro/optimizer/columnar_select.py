@@ -38,10 +38,14 @@ from repro.lowering.chaining import consumer_counts
 from repro.lowering.combinators import (
     CAggBy,
     CChain,
+    CEqJoin,
     CFilter,
     CFlatMap,
+    CGroupBy,
     CMap,
+    CSemiJoin,
     Combinator,
+    ScalarFn,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -54,6 +58,8 @@ class ColumnarStats:
 
     columnar_chains: int = 0
     row_chains: int = 0
+    columnar_exchanges: int = 0
+    row_exchanges: int = 0
 
 
 def chain_step_descs(
@@ -75,13 +81,52 @@ def chain_step_descs(
     return tuple(out)
 
 
+def exchange_key_reason(key) -> str:
+    """Why a shuffle/join/group key UDF cannot run as a column.
+
+    Exchange keys are evaluated through a single-step MAP vector
+    kernel, so the eligibility rule is exactly the chain rule applied
+    to that one step.
+    """
+    return vectorizable_reason(((MAP, key.params, key.body),))
+
+
+def partial_pair_key() -> ScalarFn:
+    """The synthetic key the executor shuffles partial aggregates on.
+
+    :meth:`JobExecutor._exec_agg_by` repartitions mapper-side partial
+    aggregates — ``(key, aggs)`` pairs — on ``\\_p -> _p[0]``; the
+    static exchange decision for :class:`CAggBy` is about *that* key,
+    not the user's grouping key (which runs before the exchange).
+    """
+    from repro.comprehension.exprs import Const, Index, Ref
+
+    return ScalarFn(("_p",), Index(Ref("_p"), Const(0)))
+
+
 def select_columnar(
     root: Combinator,
     stats: ColumnarStats | None = None,
     trace: "CompileTrace | None" = None,
     site: int | None = None,
+    exchange: str = "off",
+    chains: bool = True,
 ) -> Combinator:
-    """Annotate every chain in ``root`` with its execution plane."""
+    """Annotate every chain in ``root`` with its execution plane.
+
+    With ``exchange != "off"`` the pass additionally decides, per
+    exchange operator (:class:`CEqJoin`, :class:`CSemiJoin`,
+    :class:`CGroupBy`, :class:`CAggBy`), whether its
+    shuffle/build/probe/group phases may run over key *columns*
+    (``exchange="columnar"``) or must stay row-at-a-time
+    (``exchange="row"`` plus a reason) — the static half of the
+    columnar exchange plane; the executor re-checks record layout per
+    partition at run time.  Joins and group-bys vectorize their whole
+    exchange; semi-joins and fused aggregations vectorize the
+    partitioning phase (their probe/merge loops stay row-at-a-time).
+    ``chains=False`` leaves chain nodes untouched (the chain plane is
+    configured off).
+    """
     stats = stats if stats is not None else ColumnarStats()
     consumers = consumer_counts(root)
 
@@ -125,7 +170,47 @@ def select_columnar(
                 new = rebuild(value)
                 if new is not value:
                     changes[f.name] = new
-        if isinstance(node, CChain):
+        if exchange != "off" and isinstance(
+            node, (CEqJoin, CSemiJoin, CGroupBy, CAggBy)
+        ):
+            if isinstance(node, (CEqJoin, CSemiJoin)):
+                reason = exchange_key_reason(node.kx)
+                if not reason:
+                    other = exchange_key_reason(node.ky)
+                    if other:
+                        reason = f"right key: {other}"
+                elif exchange_key_reason(node.ky):
+                    reason = f"left key: {reason}"
+                else:
+                    reason = f"left key: {reason}"
+            elif isinstance(node, CAggBy):
+                reason = exchange_key_reason(partial_pair_key())
+            else:
+                reason = exchange_key_reason(node.key)
+            plane = "row" if reason else "columnar"
+            if plane == "columnar":
+                stats.columnar_exchanges += 1
+            else:
+                stats.row_exchanges += 1
+            if trace is not None:
+                trace.record(
+                    "columnar selection",
+                    "vectorize-exchange",
+                    plane == "columnar",
+                    detail=(
+                        f"{node.describe()} exchanges batch-at-a-time "
+                        f"(key evaluated as a column)"
+                        if plane == "columnar"
+                        else (
+                            f"{node.describe()} exchanges row-at-a-"
+                            f"time: {reason}"
+                        )
+                    ),
+                    site=site,
+                )
+            changes["exchange"] = plane
+            changes["exchange_reason"] = reason
+        if chains and isinstance(node, CChain):
             if key in agg_fused:
                 reason = (
                     "fused into the downstream aggregation's mapper "

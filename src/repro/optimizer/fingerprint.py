@@ -59,6 +59,7 @@ PLAN_KNOBS: tuple[str, ...] = (
     "physical_planning",
     "udf_reordering",
     "columnar",
+    "columnar_exchange",
 )
 
 

@@ -41,7 +41,10 @@ from repro.comprehension.exprs import (
 from repro.comprehension.ir import BAG, Comprehension
 from repro.comprehension.normalize import NormalizeStats, normalize
 from repro.comprehension.resugar import resugar
-from repro.engines.columnar import default_columnar_mode
+from repro.engines.columnar import (
+    default_columnar_exchange,
+    default_columnar_mode,
+)
 from repro.engines.spill import default_memory_budget
 from repro.engines.faults import FaultPlan, RetryPolicy
 from repro.engines.scheduler import (
@@ -145,6 +148,16 @@ class EmmaConfig:
     #: bit-identical either way — only wall clock and byte counters
     #: move.  Default honours ``REPRO_COLUMNAR``.
     columnar: str = field(default_factory=default_columnar_mode)
+    #: columnar *exchange* plane: vectorized shuffle partitioning, hash
+    #: join build/probe, and group-by over key columns ("auto" engages
+    #: when numpy is available, "on" forces the PyColumn fallback,
+    #: "off" keeps exchanges row-at-a-time).  Independent of
+    #: ``columnar`` — results, ``simulated_seconds``, and fault
+    #: schedules are bit-identical either way.  Default honours
+    #: ``REPRO_COLUMNAR_EXCHANGE``.
+    columnar_exchange: str = field(
+        default_factory=default_columnar_exchange
+    )
     execution_mode: str = field(default_factory=default_execution_mode)
     #: concurrent partition-task slots (0 = one per host CPU core);
     #: default honours ``REPRO_MAX_PARALLEL_TASKS``
@@ -215,6 +228,9 @@ class OptimizationReport:
     chained_operators: int = 0
     #: chains the kernel-selection rule marked for the columnar plane
     columnar_chains: int = 0
+    #: exchange operators (joins, group-bys) marked for columnar
+    #: shuffle/build/probe over key columns
+    columnar_exchanges: int = 0
     physical_joins: int = 0
     elidable_shuffle_inputs: int = 0
     hoistable_shuffle_inputs: int = 0
@@ -573,13 +589,22 @@ class _SiteCompiler:
                 detail="disabled by config",
                 site=site,
             )
-        if self.config.operator_chaining and self.config.columnar != "off":
+        chains_on = (
+            self.config.operator_chaining and self.config.columnar != "off"
+        )
+        if chains_on or self.config.columnar_exchange != "off":
             col_stats = ColumnarStats()
             plan = select_columnar(
-                plan, col_stats, trace=trace, site=site
+                plan,
+                col_stats,
+                trace=trace,
+                site=site,
+                exchange=self.config.columnar_exchange,
+                chains=chains_on,
             )
             self.report.columnar_chains += col_stats.columnar_chains
-        elif trace is not None:
+            self.report.columnar_exchanges += col_stats.columnar_exchanges
+        if not chains_on and trace is not None:
             trace.record(
                 "columnar selection",
                 "vectorize-chain",

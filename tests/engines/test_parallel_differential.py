@@ -34,6 +34,9 @@ _MODE_DEPENDENT = {
     "speculative_launches",
     "speculative_wins",
     "serial_fallbacks",
+    # Columnar exchange block shipping is a processes-mode transport
+    # detail (blocks only "ship" across a process boundary).
+    "columnar_blocks_shipped",
 }
 
 

@@ -132,7 +132,9 @@ class TestExplainMarkers:
         assert "[co-partitioned]" in text
         assert "[hoisted]" in text
         assert "[shuffle]" in text
-        assert "<strategy=repartition>" in text
+        # Rendered alongside the exchange-plane flag, e.g.
+        # ``<strategy=repartition, exchange=columnar>``.
+        assert "strategy=repartition" in text
 
     def test_compile_trace_records_the_pass(self):
         text = pagerank.explain(trace=True)

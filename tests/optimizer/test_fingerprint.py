@@ -46,7 +46,8 @@ class TestPlanFingerprint:
         if isinstance(current, bool):
             flipped = dataclasses.replace(base, **{knob: not current})
         else:
-            # ``columnar`` is the one string-valued plan knob.
+            # String-valued knobs (udf_reordering, columnar,
+            # columnar_exchange) toggle between "off" and an on-mode.
             flipped = dataclasses.replace(
                 base, **{knob: "off" if current != "off" else "on"}
             )

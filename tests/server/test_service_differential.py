@@ -53,6 +53,10 @@ _VARIANT_DEPENDENT = {
     "columnar_batches_built",
     "columnar_kernels",
     "columnar_fallbacks",
+    "columnar_fallbacks_udf",
+    "columnar_fallbacks_schema",
+    "columnar_fallbacks_input",
+    "columnar_blocks_shipped",
     "spill_bytes_written",
     "spill_bytes_read",
     "partitions_spilled",
